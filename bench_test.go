@@ -1,0 +1,143 @@
+package abw
+
+import (
+	"testing"
+
+	"abw/internal/experiments"
+)
+
+// One benchmark per paper artifact (DESIGN.md Sec. 2). Each bench
+// regenerates its table/figure end to end — topology, routing,
+// LP solves, estimation — so the reported time is the full cost of the
+// reproduction, and `go test -bench=. -benchmem` doubles as a smoke run
+// of every experiment.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced an empty table", id)
+		}
+	}
+}
+
+// BenchmarkScenarioI regenerates E1 (Fig. 1 left; the introduction's
+// (1-lambda)r vs (1-2lambda)r example).
+func BenchmarkScenarioI(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkScenarioII regenerates E2 (Fig. 1 right; Sec. 5.1's
+// f = 16.2 Mbps counterexample with its clique bounds and violations).
+func BenchmarkScenarioII(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkFig2Topology regenerates E3 (Fig. 2: the 30-node random
+// topology and the average-e2eD vs e2eTD routes).
+func BenchmarkFig2Topology(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkFig3Routing regenerates E4 (Fig. 3: available bandwidth per
+// flow under hop count / e2eTD / average-e2eD with sequential
+// admission).
+func BenchmarkFig3Routing(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkFig4Estimation regenerates E5 (Fig. 4: the five distributed
+// estimators against the exact Eq. 6 value as background accumulates).
+func BenchmarkFig4Estimation(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkEq9UpperBound regenerates E6 (the Sec. 3.2 rate-coupled
+// clique LP over all 16 Scenario II rate vectors).
+func BenchmarkEq9UpperBound(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkLowerBounds regenerates E7 (Sec. 3.3 independent-set-subset
+// lower bounds).
+func BenchmarkLowerBounds(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkAdaptationAblation regenerates E8 (link adaptation on/off:
+// all 16 fixed rate vectors vs multirate scheduling).
+func BenchmarkAdaptationAblation(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkSimValidation regenerates E9 (TDMA frame simulator vs the
+// analytic model).
+func BenchmarkSimValidation(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkCSMAIdle regenerates E10 (slotted CSMA/CA idleness in
+// Scenario I).
+func BenchmarkCSMAIdle(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkAvailableBandwidthQuery measures the core primitive in
+// isolation: one exact Eq. 6 availability query (enumeration + LP) on a
+// 4-hop chain with background traffic.
+func BenchmarkAvailableBandwidthQuery(b *testing.B) {
+	sys, err := NewSystem(Line(5, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := sys.PathBetween(0, 1, 2, 3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bg := []Flow{{Path: path, Demand: 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.AvailableBandwidth(bg, path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatal("unexpected infeasibility")
+		}
+	}
+}
+
+// BenchmarkEstimateConservative measures one distributed conservative
+// clique estimate (the paper's proposed metric) on the same query.
+func BenchmarkEstimateConservative(b *testing.B) {
+	sys, err := NewSystem(Line(5, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := sys.PathBetween(0, 1, 2, 3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	short, err := sys.PathBetween(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bg := []Flow{{Path: short, Demand: 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Estimate(EstimateConservativeClique, bg, path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDemandSweep regenerates E11 (the Fig. 4 estimator-error
+// sweep across background demand levels).
+func BenchmarkDemandSweep(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkRateDiversityAblation regenerates E12 (multirate vs
+// single-rate profiles on the Sec. 5.2 deployment).
+func BenchmarkRateDiversityAblation(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkEstimatorAdmission regenerates E13 (estimator-driven
+// admission vs the exact oracle).
+func BenchmarkEstimatorAdmission(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkGreedyVsOptimal regenerates E14 (greedy TDMA scheduler vs
+// the LP optimum).
+func BenchmarkGreedyVsOptimal(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkFairAllocation regenerates E15 (max-min fair allocation).
+func BenchmarkFairAllocation(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkInterferenceModelAblation regenerates E16 (physical vs
+// protocol interference model capacities).
+func BenchmarkInterferenceModelAblation(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkCSRangeSensitivity regenerates E17 (carrier-sense range vs
+// estimator accuracy).
+func BenchmarkCSRangeSensitivity(b *testing.B) { benchExperiment(b, "E17") }

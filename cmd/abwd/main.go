@@ -1,0 +1,54 @@
+// Command abwd runs the admission-control daemon: an HTTP/JSON service
+// that owns a multirate network, tracks admitted flows, and answers
+// availability queries with the paper's exact model.
+//
+// Usage:
+//
+//	abwd -addr :8080
+//
+// Walkthrough:
+//
+//	abwtopo -nodes 30 -spec | jq '{nodes}' | curl -X PUT -d @- localhost:8080/v1/network
+//	curl -X POST -d '{"src":2,"dst":8,"demandMbps":2}' localhost:8080/v1/flows
+//	curl localhost:8080/v1/flows
+//	curl -X DELETE localhost:8080/v1/flows/1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"abw/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("abwd", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abwd:", err)
+		return 1
+	}
+	fmt.Printf("abwd listening on %s\n", ln.Addr())
+	srv := &http.Server{
+		Handler:           server.New().Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "abwd:", err)
+		return 1
+	}
+	return 0
+}

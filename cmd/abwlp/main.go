@@ -1,0 +1,85 @@
+// Command abwlp answers availability queries from a JSON network
+// description: it builds the topology, solves the exact Eq. 6 LP for
+// the queried path (routing it first if only endpoints are given), and
+// reports the optimal schedule plus all five distributed estimates.
+//
+// Usage:
+//
+//	abwlp < network.json
+//	abwlp -i network.json -o answer.json
+//
+// Input format (see internal/netjson):
+//
+//	{
+//	  "nodes": [{"x":0,"y":0},{"x":100,"y":0}],
+//	  "background": [{"path":[0,1],"demand":2}],
+//	  "query": {"path":[0,1]}            // or {"src":0,"dst":1,"metric":"average-e2eD"}
+//	}
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"flag"
+
+	"abw/internal/netjson"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("abwlp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in  = fs.String("i", "", "input JSON file (default: stdin)")
+		out = fs.String("o", "", "output JSON file (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "abwlp:", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "abwlp:", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "abwlp: closing output:", err)
+			}
+		}()
+		w = f
+	}
+
+	spec, err := netjson.ParseSpec(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "abwlp:", err)
+		return 1
+	}
+	ans, err := netjson.Solve(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "abwlp:", err)
+		return 1
+	}
+	if err := netjson.WriteAnswer(w, ans); err != nil {
+		fmt.Fprintln(stderr, "abwlp:", err)
+		return 1
+	}
+	return 0
+}

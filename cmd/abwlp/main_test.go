@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const spec = `{
+  "nodes": [{"x":0,"y":0},{"x":100,"y":0},{"x":200,"y":0}],
+  "query": {"src":0,"dst":2}
+}`
+
+func TestRunStdinStdout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(nil, strings.NewReader(spec), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var ans map[string]interface{}
+	if err := json.Unmarshal(out.Bytes(), &ans); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if ans["feasible"] != true {
+		t.Errorf("answer = %v", ans)
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.json")
+	outPath := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(in, []byte(spec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-i", in, "-o", outPath}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "bandwidthMbps") {
+		t.Errorf("output file content: %s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, strings.NewReader("{not json"), &out, &errOut); code != 1 {
+		t.Errorf("bad JSON exit = %d, want 1", code)
+	}
+	if code := run([]string{"-i", "/nonexistent/x.json"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Errorf("missing input exit = %d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	// Valid JSON, unsolvable query.
+	bad := `{"nodes":[{"x":0,"y":0},{"x":1000,"y":0}],"query":{"src":0,"dst":1}}`
+	if code := run(nil, strings.NewReader(bad), &out, &errOut); code != 1 {
+		t.Errorf("unroutable query exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,105 @@
+// Command abwtopo generates and inspects random multirate topologies
+// under the paper's Sec. 5.2 radio profile (30 nodes in 400m x 600m by
+// default).
+//
+// Usage:
+//
+//	abwtopo                     # paper defaults, summary + node table
+//	abwtopo -nodes 50 -seed 7   # bigger network
+//	abwtopo -dot                # Graphviz output of the link graph
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"abw/internal/geom"
+	"abw/internal/graph"
+	"abw/internal/netjson"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("abwtopo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		nodes = fs.Int("nodes", 30, "number of nodes")
+		w     = fs.Float64("w", 400, "area width in meters")
+		h     = fs.Float64("h", 600, "area height in meters")
+		seed  = fs.Int64("seed", 26, "placement seed")
+		dot   = fs.Bool("dot", false, "emit Graphviz instead of the summary")
+		spec  = fs.Bool("spec", false, "emit a netjson spec skeleton for abwlp instead of the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	net, err := topology.Random(radio.NewProfile80211a(), geom.Rect{W: *w, H: *h}, *nodes, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "abwtopo:", err)
+		return 1
+	}
+	switch {
+	case *dot:
+		writeDot(stdout, net)
+	case *spec:
+		if err := writeSpec(stdout, net); err != nil {
+			fmt.Fprintln(stderr, "abwtopo:", err)
+			return 1
+		}
+	default:
+		writeSummary(stdout, net)
+	}
+	return 0
+}
+
+// writeSpec emits a netjson document with the generated node positions
+// and a placeholder query, ready to edit and pipe into abwlp.
+func writeSpec(out io.Writer, net *topology.Network) error {
+	spec := netjson.Spec{}
+	for _, n := range net.Nodes() {
+		spec.Nodes = append(spec.Nodes, netjson.NodeSpec{X: n.Pos.X, Y: n.Pos.Y})
+	}
+	src, dst := 0, net.NumNodes()-1
+	spec.Query = netjson.QuerySpec{Src: &src, Dst: &dst, Metric: "average-e2eD"}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&spec)
+}
+
+func writeSummary(out io.Writer, net *topology.Network) {
+	fmt.Fprintf(out, "nodes: %d   directed links: %d   connected: %v\n",
+		net.NumNodes(), net.NumLinks(), graph.Connected(net))
+	hist := map[radio.Rate]int{}
+	for _, l := range net.Links() {
+		hist[l.MaxRate]++
+	}
+	fmt.Fprint(out, "link rate histogram:")
+	for _, r := range net.Profile().Rates() {
+		fmt.Fprintf(out, "  %v:%d", r, hist[r])
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "\nnode  x(m)    y(m)    degree")
+	for _, n := range net.Nodes() {
+		fmt.Fprintf(out, "%-5d %-7.1f %-7.1f %d\n", n.ID, n.Pos.X, n.Pos.Y, len(net.OutLinks(n.ID)))
+	}
+}
+
+func writeDot(out io.Writer, net *topology.Network) {
+	fmt.Fprintln(out, "digraph abw {")
+	fmt.Fprintln(out, `  node [shape=circle];`)
+	for _, n := range net.Nodes() {
+		fmt.Fprintf(out, "  n%d [pos=\"%.1f,%.1f!\"];\n", n.ID, n.Pos.X, n.Pos.Y)
+	}
+	for _, l := range net.Links() {
+		fmt.Fprintf(out, "  n%d -> n%d [label=\"%v\"];\n", l.Tx, l.Rx, l.MaxRate)
+	}
+	fmt.Fprintln(out, "}")
+}

@@ -1,0 +1,93 @@
+// Admission control as a service, end to end in one process: start the
+// abwd HTTP daemon on an ephemeral port, drive it with the typed Go
+// client — install a topology, query, admit until full, inspect the
+// TDMA schedule and fair shares, tear a flow down — exactly the
+// workflow a production controller would run against cmd/abwd.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"abw/internal/netjson"
+	"abw/internal/server"
+)
+
+func main() {
+	// Start the daemon in-process on an ephemeral port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.New().Handler(), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		_ = srv.Close()
+		<-done // wait for the serve goroutine to exit
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("daemon at", base)
+
+	client := server.NewClient(base, nil)
+
+	// Install a 5-node chain (capacity 54/11 ~ 4.909 Mbps end to end).
+	nodes := []netjson.NodeSpec{
+		{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}, {X: 300, Y: 0}, {X: 400, Y: 0},
+	}
+	info, err := client.InstallNetwork(nodes, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed: %d nodes, %d links\n\n", info.Nodes, info.Links)
+
+	// Ask before admitting.
+	q, err := client.Query(0, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query 0->4: %.3f Mbps available, would admit 2 Mbps: %v\n", q.Bandwidth, *q.Admit)
+
+	// Admit until the chain is full.
+	for i := 1; ; i++ {
+		res, err := client.Admit(0, 4, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Admitted {
+			fmt.Printf("flow %d REJECTED: %s\n", i, res.Reason)
+			break
+		}
+		fmt.Printf("flow %d admitted via %v (%.3f Mbps was available)\n",
+			res.Flow.ID, res.Flow.Nodes, res.Available)
+	}
+
+	// Inspect fair shares and the delivering schedule.
+	shares, err := client.Fairshares()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmax-min fair shares:")
+	for _, s := range shares {
+		fmt.Printf("  flow %d: %.3f Mbps (demanded %.1f)\n", s.Flow, s.FairShare, s.Demand)
+	}
+
+	// Tear one down and show the freed capacity.
+	flows, err := client.Flows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(flows) > 0 {
+		if _, err := client.Teardown(flows[0].ID); err != nil {
+			log.Fatal(err)
+		}
+		q, err = client.Query(0, 4, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nafter tearing down flow %d: %.3f Mbps available again\n", flows[0].ID, q.Bandwidth)
+	}
+}

@@ -1,0 +1,82 @@
+// Fully distributed operation — what the paper's Sec. 4 is really
+// about: nodes that know only their neighbors compute QoS routes by
+// message passing (a distance-vector protocol), estimate available
+// bandwidth from carrier-sensed idleness, and admit flows without any
+// global scheduler. This example runs the whole distributed stack and
+// checks it against the centralized optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abw"
+)
+
+func main() {
+	// The paper's Sec. 5.2 deployment.
+	sys, err := abw.NewSystem(abw.Random(30, 400, 600, 26))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: %d nodes, %d links\n\n", sys.NumNodes(), sys.NumLinks())
+
+	// Background: one admitted stream.
+	bgPath, err := sys.Route(abw.RouteAvgE2ED, 26, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	background := []abw.Flow{{Path: bgPath, Demand: 2}}
+
+	// 1. Distributed route computation: distance-vector message passing
+	//    under the average-e2eD weights.
+	src, dst := abw.NodeID(2), abw.NodeID(8)
+	dvPath, stats, err := sys.DistributedRoute(abw.RouteAvgE2ED, src, dst, background)
+	if err != nil {
+		log.Fatal(err)
+	}
+	centralPath, err := sys.Route(abw.RouteAvgE2ED, src, dst, background)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance-vector route %d->%d converged in %d rounds, %d messages\n",
+		src, dst, stats.Rounds, stats.Messages)
+	fmt.Printf("  distributed path: %v\n", mustNodes(sys, dvPath))
+	fmt.Printf("  centralized path: %v\n", mustNodes(sys, centralPath))
+
+	// 2. Distributed estimation on the found path vs the exact LP.
+	est, err := sys.Estimate(abw.EstimateConservativeClique, background, dvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := sys.AvailableBandwidth(background, dvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\navailable bandwidth on the distributed path:\n")
+	fmt.Printf("  conservative clique estimate (local knowledge): %.3f Mbps\n", est)
+	fmt.Printf("  exact optimum (global scheduling oracle):       %.3f Mbps\n", exact.Bandwidth)
+
+	// 3. Estimator-guided widest-path routing (the paper's proposal of
+	//    using bandwidth estimates AS the routing metric).
+	widest, widestEst, err := sys.RouteByEstimate(abw.EstimateConservativeClique, src, dst, background)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwidest-path route by conservative clique estimate: %v (estimate %.3f Mbps)\n",
+		mustNodes(sys, widest), widestEst)
+
+	// 4. A distributed admission decision.
+	const demand = 2.0
+	fmt.Printf("\nadmitting a %.1f Mbps flow %d->%d:\n", demand, src, dst)
+	fmt.Printf("  estimator says:  %v (%.3f Mbps available)\n", est >= demand, est)
+	fmt.Printf("  oracle says:     %v (%.3f Mbps available)\n", exact.Bandwidth >= demand, exact.Bandwidth)
+}
+
+func mustNodes(sys *abw.System, path abw.Path) []abw.NodeID {
+	nodes, err := sys.Network().PathNodes(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return nodes
+}

@@ -1,0 +1,70 @@
+// Quickstart: build a small multirate network, compute a path's exact
+// available bandwidth with background traffic, and compare it with the
+// distributed estimates a real node could compute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abw"
+)
+
+func main() {
+	// Five sensor nodes in a line, 100 m apart. At this spacing each
+	// hop supports 18 Mbps alone (the 802.11a profile of the paper:
+	// 54/36/18/6 Mbps with ranges 59/79/119/158 m).
+	sys, err := abw.NewSystem(abw.Line(5, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d directed links\n", sys.NumNodes(), sys.NumLinks())
+
+	// The 4-hop path end to end.
+	path, err := sys.PathBetween(0, 1, 2, 3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exact capacity with an idle network: the optimal schedule reuses
+	// hop 0 at a lower rate while hop 3 transmits — the paper's central
+	// "link adaptation" effect — reaching 54/11 ~ 4.909 Mbps.
+	cap0, err := sys.PathCapacity(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("path capacity (no background): %.3f Mbps\n", cap0.Bandwidth)
+	fmt.Printf("optimal schedule: %s\n", cap0.Schedule.String())
+
+	// Add a 2 Mbps background flow on the same path and ask again.
+	background := []abw.Flow{{Path: path, Demand: 2}}
+	res, err := sys.AvailableBandwidth(background, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("available with 2 Mbps background: %.3f Mbps\n", res.Bandwidth)
+
+	// What would a distributed node estimate from carrier sensing?
+	ests, err := sys.EstimateAll(background, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("distributed estimates:")
+	for _, m := range []abw.EstimateMetric{
+		abw.EstimateCliqueConstraint,
+		abw.EstimateBottleneckNode,
+		abw.EstimateMinOfBoth,
+		abw.EstimateConservativeClique,
+		abw.EstimateECTT,
+	} {
+		fmt.Printf("  %-35s %.3f Mbps\n", m.String(), ests[m])
+	}
+
+	// Verify the schedule actually delivers by running it in the TDMA
+	// frame simulator.
+	delivered, err := sys.Simulate(res.Schedule, []abw.Flow{{Path: path, Demand: res.Bandwidth}}, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated goodput over 30 periods: %.3f Mbps\n", delivered[0])
+}

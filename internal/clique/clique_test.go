@@ -1,0 +1,249 @@
+package clique
+
+import (
+	"math"
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/scenario"
+	"abw/internal/topology"
+)
+
+func TestScenarioIIMaximalCliques(t *testing.T) {
+	s := scenario.NewScenarioII()
+	cliques, err := MaximalCliques(s.Model, s.Links(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 four-link cliques with L1@54 (2^3 rate combos of L2..L4) plus 4
+	// three-link cliques {L1@36, L2@*, L3@*}.
+	if len(cliques) != 12 {
+		t.Errorf("got %d maximal cliques, want 12: %v", len(cliques), cliqueKeys(cliques))
+	}
+	for _, c := range cliques {
+		if !IsClique(s.Model, c.Couples) {
+			t.Errorf("%v is not a clique", c)
+		}
+		if !IsMaximal(s.Model, c, s.Links()) {
+			t.Errorf("%v is not maximal", c)
+		}
+	}
+}
+
+func TestScenarioIIMaximalWithMaxRates(t *testing.T) {
+	// The paper's Sec. 3.1 example: both {(L1,54),(L2,54),(L3,54),(L4,54)}
+	// and {(L1,36),(L2,54),(L3,54)} are maximal cliques with maximum
+	// rates — and they are the only ones.
+	s := scenario.NewScenarioII()
+	cliques, err := MaximalCliques(s.Model, s.Links(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRates := MaximalWithMaxRates(s.Model, cliques, s.Links())
+	got := map[string]bool{}
+	for _, c := range maxRates {
+		got[c.Key()] = true
+	}
+	if !got["0@54|1@54|2@54|3@54"] {
+		t.Errorf("missing all-54 clique; got %v", cliqueKeys(maxRates))
+	}
+	if !got["0@36|1@54|2@54"] {
+		t.Errorf("missing {(L1,36),(L2,54),(L3,54)}; got %v", cliqueKeys(maxRates))
+	}
+	if len(maxRates) != 2 {
+		t.Errorf("got %d maximal-with-max-rates cliques %v, want 2", len(maxRates), cliqueKeys(maxRates))
+	}
+}
+
+func TestScenarioIIPaperCliqueExamples(t *testing.T) {
+	// Direct checks of the three Sec. 3.1 statements.
+	s := scenario.NewScenarioII()
+	all54Three := []conflict.Couple{{Link: s.L1, Rate: 54}, {Link: s.L2, Rate: 54}, {Link: s.L3, Rate: 54}}
+	if !IsClique(s.Model, all54Three) {
+		t.Error("{(L1,54),(L2,54),(L3,54)} should be a clique")
+	}
+	if IsMaximal(s.Model, New(all54Three...), s.Links()) {
+		t.Error("{(L1,54),(L2,54),(L3,54)} should NOT be maximal — (L4,54) extends it")
+	}
+	all36Three := []conflict.Couple{{Link: s.L1, Rate: 36}, {Link: s.L2, Rate: 36}, {Link: s.L3, Rate: 36}}
+	if !IsMaximal(s.Model, New(all36Three...), s.Links()) {
+		t.Error("{(L1,36),(L2,36),(L3,36)} should be maximal")
+	}
+	if len(MaximalWithMaxRates(s.Model, []Clique{New(all36Three...)}, s.Links())) != 0 {
+		t.Error("{(L1,36),(L2,36),(L3,36)} should not have maximum rates")
+	}
+}
+
+func TestUnitTransmissionTime(t *testing.T) {
+	c := New(
+		conflict.Couple{Link: 0, Rate: 36},
+		conflict.Couple{Link: 1, Rate: 54},
+		conflict.Couple{Link: 2, Rate: 54},
+	)
+	// 1/36 + 2/54 = 7/108: the paper's R2 clique bound denominator.
+	want := 1.0/36 + 2.0/54
+	if got := c.UnitTransmissionTime(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("UnitTransmissionTime = %v, want %v", got, want)
+	}
+	// The paper's bound: 1/T = 108/7 ~ 15.43.
+	if got := 1 / c.UnitTransmissionTime(); math.Abs(got-108.0/7) > 1e-9 {
+		t.Errorf("1/T = %v, want 108/7", got)
+	}
+}
+
+func TestTransmissionTimeWithDemand(t *testing.T) {
+	c := New(
+		conflict.Couple{Link: 0, Rate: 54},
+		conflict.Couple{Link: 1, Rate: 54},
+		conflict.Couple{Link: 2, Rate: 54},
+		conflict.Couple{Link: 3, Rate: 54},
+	)
+	// Scenario II optimum f = 16.2 on the all-54 clique: T = 4*16.2/54 = 1.2.
+	got := c.TransmissionTime(func(topology.LinkID) float64 { return 16.2 })
+	if math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("TransmissionTime = %v, want 1.2 (the paper's violated clique constraint)", got)
+	}
+}
+
+func TestCliquesForRateVector(t *testing.T) {
+	s := scenario.NewScenarioII()
+	// R2 = {36, 54, 54, 54}: maximal cliques are {L1,L2,L3} and {L2,L3,L4}.
+	assignment := []conflict.Couple{
+		{Link: s.L1, Rate: 36}, {Link: s.L2, Rate: 54}, {Link: s.L3, Rate: 54}, {Link: s.L4, Rate: 54},
+	}
+	cliques, err := CliquesForRateVector(s.Model, assignment, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, c := range cliques {
+		got[c.Key()] = true
+	}
+	if !got["0@36|1@54|2@54"] || !got["1@54|2@54|3@54"] || len(cliques) != 2 {
+		t.Errorf("R2 cliques = %v, want {L1,L2,L3} and {L2,L3,L4}", cliqueKeys(cliques))
+	}
+
+	// R1 = all 54: single maximal clique of all four links.
+	assignment54 := []conflict.Couple{
+		{Link: s.L1, Rate: 54}, {Link: s.L2, Rate: 54}, {Link: s.L3, Rate: 54}, {Link: s.L4, Rate: 54},
+	}
+	cliques54, err := CliquesForRateVector(s.Model, assignment54, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cliques54) != 1 || cliques54[0].Len() != 4 {
+		t.Errorf("R1 cliques = %v, want one clique of 4 links", cliqueKeys(cliques54))
+	}
+}
+
+func TestCliquesForRateVectorDuplicateLink(t *testing.T) {
+	s := scenario.NewScenarioII()
+	_, err := CliquesForRateVector(s.Model, []conflict.Couple{
+		{Link: s.L1, Rate: 36}, {Link: s.L1, Rate: 54},
+	}, Options{})
+	if err == nil {
+		t.Error("duplicate link in assignment: expected error")
+	}
+}
+
+func TestLocalCliquesScenarioII(t *testing.T) {
+	s := scenario.NewScenarioII()
+	// All-54 rates: one local clique spanning the whole chain.
+	all54, err := LocalCliques(s.Model, s.Path, []radio.Rate{54, 54, 54, 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all54) != 1 || all54[0].Len() != 4 {
+		t.Errorf("local cliques @54 = %v, want one 4-link clique", cliqueKeys(all54))
+	}
+	// R2 rates: {L1,L2,L3} and {L2,L3,L4}.
+	r2, err := LocalCliques(s.Model, s.Path, []radio.Rate{36, 54, 54, 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2) != 2 {
+		t.Fatalf("local cliques @R2 = %v, want 2", cliqueKeys(r2))
+	}
+	if r2[0].Key() != "0@36|1@54|2@54" || r2[1].Key() != "1@54|2@54|3@54" {
+		t.Errorf("local cliques @R2 = %v", cliqueKeys(r2))
+	}
+}
+
+func TestLocalCliquesValidation(t *testing.T) {
+	s := scenario.NewScenarioII()
+	if _, err := LocalCliques(s.Model, s.Path, []radio.Rate{54}); err == nil {
+		t.Error("mismatched lengths: expected error")
+	}
+	if _, err := LocalCliques(s.Model, nil, nil); err == nil {
+		t.Error("empty path: expected error")
+	}
+}
+
+func TestIsCliqueRejectsBadSets(t *testing.T) {
+	s := scenario.NewScenarioII()
+	if IsClique(s.Model, []conflict.Couple{{Link: s.L1, Rate: 54}, {Link: s.L1, Rate: 36}}) {
+		t.Error("duplicate link cannot form a clique")
+	}
+	if IsClique(s.Model, []conflict.Couple{{Link: s.L1, Rate: 0}}) {
+		t.Error("zero-rate couple cannot form a clique")
+	}
+	// Non-interfering pair.
+	if IsClique(s.Model, []conflict.Couple{{Link: s.L1, Rate: 36}, {Link: s.L4, Rate: 54}}) {
+		t.Error("(L1,36) and (L4,54) do not interfere; not a clique")
+	}
+}
+
+func TestMaximalCliquesPhysicalChain(t *testing.T) {
+	net, path, err := topology.Chain(radio.NewProfile80211a(), 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := conflict.NewPhysical(net)
+	cliques, err := MaximalCliques(m, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cliques) == 0 {
+		t.Fatal("expected cliques on a short chain")
+	}
+	for _, c := range cliques {
+		if !IsMaximal(m, c, path) {
+			t.Errorf("%v not maximal", c)
+		}
+	}
+}
+
+func TestEnumerationLimit(t *testing.T) {
+	s := scenario.NewScenarioII()
+	if _, err := MaximalCliques(s.Model, s.Links(), Options{Limit: 1}); err == nil {
+		t.Error("limit 1: expected ErrLimit")
+	}
+}
+
+func TestCliqueAccessors(t *testing.T) {
+	c := New(conflict.Couple{Link: 7, Rate: 18}, conflict.Couple{Link: 2, Rate: 54})
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Rate(7) != 18 || c.Rate(2) != 54 || c.Rate(5) != 0 {
+		t.Error("Rate lookups wrong")
+	}
+	if !c.Contains(2) || c.Contains(5) {
+		t.Error("Contains wrong")
+	}
+	if got := c.Links(); got[0] != 2 || got[1] != 7 {
+		t.Errorf("Links = %v, want sorted [2 7]", got)
+	}
+	if c.String() != "{(L2, 54Mbps), (L7, 18Mbps)}" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func cliqueKeys(cs []Clique) []string {
+	out := make([]string, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, c.Key())
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package clique
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/geom"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// randomGeomModel builds a physical model over a small random layout
+// and returns all its link IDs.
+func randomGeomModel(t *testing.T, seed int64, nodes int) (*conflict.Physical, []topology.LinkID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := topology.New(radio.NewProfile80211a(),
+		geom.UniformPoints(rng, geom.Rect{W: 250, H: 250}, nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]topology.LinkID, 0, net.NumLinks())
+	for _, l := range net.Links() {
+		links = append(links, l.ID)
+	}
+	return conflict.NewPhysical(net), links
+}
+
+// TestMaximalCliquesPropertyPhysical checks enumeration invariants on
+// random geometric networks: every result is a clique, is maximal, and
+// no duplicates appear.
+func TestMaximalCliquesPropertyPhysical(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		m, links := randomGeomModel(t, seed, 5)
+		if len(links) == 0 {
+			continue
+		}
+		if len(links) > 12 {
+			links = links[:12] // keep the couple graph small enough to enumerate
+		}
+		cliques, err := MaximalCliques(m, links, Options{Limit: 200000})
+		if errors.Is(err, ErrLimit) {
+			continue // adversarially dense draw; covered by other seeds
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seen := map[string]bool{}
+		for _, c := range cliques {
+			if !IsClique(m, c.Couples) {
+				t.Errorf("seed %d: %v is not a clique", seed, c)
+			}
+			if !IsMaximal(m, c, links) {
+				t.Errorf("seed %d: %v is not maximal", seed, c)
+			}
+			if seen[c.Key()] {
+				t.Errorf("seed %d: duplicate clique %v", seed, c)
+			}
+			seen[c.Key()] = true
+		}
+		// Completeness: every couple that interferes with nothing...
+		// every (link, alone-rate) couple must appear in some maximal
+		// clique (singletons count when nothing interferes).
+		for _, l := range links {
+			for _, r := range m.Rates(l) {
+				found := false
+				for _, c := range cliques {
+					if c.Rate(l) == r {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("seed %d: couple (L%d,%v) in no maximal clique", seed, l, r)
+				}
+			}
+		}
+	}
+}
+
+// TestLocalCliquesCoverEveryHop checks that on any path, every hop
+// appears in at least one local clique and consecutive hops share one
+// (adjacent links always interfere through their common node).
+func TestLocalCliquesCoverEveryHop(t *testing.T) {
+	for _, spacing := range []float64{50, 80, 100, 120} {
+		net, path, err := topology.Chain(radio.NewProfile80211a(), 5, spacing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := conflict.NewPhysical(net)
+		rates := make([]radio.Rate, len(path))
+		for i, l := range path {
+			rates[i] = conflict.AloneMaxRate(m, l)
+		}
+		cliques, err := LocalCliques(m, path, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range path {
+			found := false
+			for _, c := range cliques {
+				if c.Contains(l) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("spacing %g: hop %d in no local clique", spacing, i)
+			}
+		}
+		for i := 0; i+1 < len(path); i++ {
+			shared := false
+			for _, c := range cliques {
+				if c.Contains(path[i]) && c.Contains(path[i+1]) {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				t.Errorf("spacing %g: hops %d,%d share no local clique", spacing, i, i+1)
+			}
+		}
+	}
+}
+
+// TestCliqueBoundMatchesBruteForceTimeShare checks on random demand
+// vectors that TransmissionTime equals the straightforward sum.
+func TestCliqueBoundMatchesBruteForceTimeShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		couples := make([]conflict.Couple, 0, n)
+		rates := []radio.Rate{54, 36, 18, 6}
+		demands := map[topology.LinkID]float64{}
+		want := 0.0
+		for i := 0; i < n; i++ {
+			r := rates[rng.Intn(len(rates))]
+			d := rng.Float64() * 20
+			couples = append(couples, conflict.Couple{Link: topology.LinkID(i), Rate: r})
+			demands[topology.LinkID(i)] = d
+			want += d / float64(r)
+		}
+		c := New(couples...)
+		got := c.TransmissionTime(func(l topology.LinkID) float64 { return demands[l] })
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("trial %d: transmission time %.12f, want %.12f", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package conflict decides which sets of concurrent transmissions are
+// feasible in a multirate network. Its central abstraction follows the
+// paper's observation that interference relations depend on the *rates*
+// links use, not just on which links transmit: every question is asked
+// about (link, rate) couples.
+//
+// Three models are provided:
+//
+//   - Physical: cumulative-interference SINR model (paper Eq. 1/3). The
+//     maximum rate a link supports in a concurrent set depends only on
+//     set membership (interference power is rate-independent), which is
+//     what makes maximum supported rate vectors well-defined (Sec. 2.3).
+//   - Protocol: pairwise rate-dependent interference ranges — a cheaper
+//     model for baselines and tests.
+//   - Table: explicitly enumerated pairwise conflicts, used to encode
+//     the paper's worked examples (Fig. 1) exactly as stated.
+package conflict
+
+import (
+	"fmt"
+
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// Couple pairs a link with the rate it transmits at — the unit of the
+// paper's rate-coupled independent sets and cliques.
+type Couple struct {
+	Link topology.LinkID
+	Rate radio.Rate
+}
+
+// String implements fmt.Stringer.
+func (c Couple) String() string {
+	return fmt.Sprintf("(L%d, %v)", c.Link, c.Rate)
+}
+
+// Model answers rate-feasibility questions about concurrent
+// transmissions.
+type Model interface {
+	// MaxRate returns the maximum rate link can sustain while every
+	// couple in concurrent transmits simultaneously, or 0 if it cannot
+	// transmit at all. Couples in concurrent referring to link itself
+	// are ignored.
+	MaxRate(link topology.LinkID, concurrent []Couple) radio.Rate
+
+	// Rates returns the rates link may use when transmitting alone, in
+	// descending order. An empty slice means the link is unusable.
+	Rates(link topology.LinkID) []radio.Rate
+}
+
+// Feasible reports whether all couples can transmit concurrently: every
+// couple's rate must be within the maximum rate the model allows it given
+// the others (the paper's independent-set condition, Sec. 2.4). Sets
+// containing the same link twice are infeasible.
+func Feasible(m Model, couples []Couple) bool {
+	seen := make(map[topology.LinkID]bool, len(couples))
+	for _, c := range couples {
+		if seen[c.Link] {
+			return false
+		}
+		seen[c.Link] = true
+	}
+	others := make([]Couple, 0, len(couples)-1)
+	for i, c := range couples {
+		if c.Rate <= 0 {
+			return false
+		}
+		others = others[:0]
+		for j, o := range couples {
+			if j != i {
+				others = append(others, o)
+			}
+		}
+		if m.MaxRate(c.Link, others) < c.Rate {
+			return false
+		}
+	}
+	return true
+}
+
+// Interferes reports whether the two couples cannot both succeed when
+// transmitting simultaneously — the paper's clique edge relation
+// (Sec. 3.1).
+func Interferes(m Model, a, b Couple) bool {
+	if a.Link == b.Link {
+		return true
+	}
+	return !Feasible(m, []Couple{a, b})
+}
+
+// SupportsAlone reports whether link can transmit at rate r with no
+// concurrent traffic.
+func SupportsAlone(m Model, link topology.LinkID, r radio.Rate) bool {
+	for _, avail := range m.Rates(link) {
+		if avail == r {
+			return true
+		}
+	}
+	return false
+}
+
+// AloneMaxRate returns the highest rate link supports when transmitting
+// alone, or 0 if none.
+func AloneMaxRate(m Model, link topology.LinkID) radio.Rate {
+	rates := m.Rates(link)
+	if len(rates) == 0 {
+		return 0
+	}
+	return rates[0]
+}
+
+// SharesNode reports whether two links share an endpoint — the
+// half-duplex constraint: a node cannot take part in two simultaneous
+// transmissions.
+func SharesNode(a, b topology.Link) bool {
+	return a.Tx == b.Tx || a.Tx == b.Rx || a.Rx == b.Tx || a.Rx == b.Rx
+}

@@ -1,0 +1,54 @@
+package conflict
+
+import (
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// FixedRates wraps a model and pins every listed link to a single rate —
+// the "fixed rate assignment" regime the paper contrasts with link
+// adaptation (Sec. 2.4, 3.1). Links outside the assignment support no
+// rate at all under the wrapper.
+type FixedRates struct {
+	inner    Model
+	assigned map[topology.LinkID]radio.Rate
+}
+
+var _ Model = (*FixedRates)(nil)
+
+// FixRates builds a FixedRates wrapper from one couple per link.
+// Duplicate links keep the last assignment.
+func FixRates(inner Model, assignment []Couple) *FixedRates {
+	m := &FixedRates{inner: inner, assigned: make(map[topology.LinkID]radio.Rate, len(assignment))}
+	for _, cp := range assignment {
+		m.assigned[cp.Link] = cp.Rate
+	}
+	return m
+}
+
+// MaxRate implements Model: the pinned rate when the inner model
+// sustains it against the concurrent set, else 0.
+func (m *FixedRates) MaxRate(link topology.LinkID, concurrent []Couple) radio.Rate {
+	pinned, ok := m.assigned[link]
+	if !ok || pinned <= 0 {
+		return 0
+	}
+	if m.inner.MaxRate(link, concurrent) >= pinned {
+		return pinned
+	}
+	return 0
+}
+
+// Rates implements Model.
+func (m *FixedRates) Rates(link topology.LinkID) []radio.Rate {
+	pinned, ok := m.assigned[link]
+	if !ok || pinned <= 0 {
+		return nil
+	}
+	for _, r := range m.inner.Rates(link) {
+		if r == pinned {
+			return []radio.Rate{pinned}
+		}
+	}
+	return nil
+}

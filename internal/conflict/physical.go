@@ -1,0 +1,157 @@
+package conflict
+
+import (
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// Physical is the cumulative-interference SINR model of paper Eq. 1/3:
+// a link in a concurrent set supports the highest rate whose receiver
+// sensitivity is met and whose SINR requirement survives the *sum* of
+// interference powers from every other transmitter in the set, plus the
+// noise floor. It also enforces half-duplex node exclusivity.
+//
+// Because transmit powers are fixed, the interference sum depends only on
+// which links transmit — not on their rates — so the maximum supported
+// rate vector of a set is unique (paper Sec. 2.3).
+type Physical struct {
+	net *topology.Network
+	// interf[k][j] is the interference power at link j's receiver caused
+	// by link k's transmitter.
+	interf [][]float64
+	// signal[j] is the received signal power at link j's receiver.
+	signal []float64
+}
+
+var _ Model = (*Physical)(nil)
+
+// NewPhysical builds a Physical model over the given network,
+// precomputing all pairwise interference powers.
+func NewPhysical(net *topology.Network) *Physical {
+	nl := net.NumLinks()
+	p := &Physical{
+		net:    net,
+		interf: make([][]float64, nl),
+		signal: make([]float64, nl),
+	}
+	prof := net.Profile()
+	links := net.Links()
+	for j, lj := range links {
+		p.signal[j] = prof.RxPower(lj.Dist)
+	}
+	for k, lk := range links {
+		p.interf[k] = make([]float64, nl)
+		for j, lj := range links {
+			if k == j {
+				continue
+			}
+			d := mustNodeDist(net, lk.Tx, lj.Rx)
+			p.interf[k][j] = prof.RxPower(d)
+		}
+	}
+	return p
+}
+
+func mustNodeDist(net *topology.Network, a, b topology.NodeID) float64 {
+	d, err := net.NodeDist(a, b)
+	if err != nil {
+		// Nodes come from the network's own links; failure means the
+		// network is internally inconsistent.
+		panic(err)
+	}
+	return d
+}
+
+// Network returns the underlying network.
+func (p *Physical) Network() *topology.Network { return p.net }
+
+// SignalPower returns the received signal power at link's receiver.
+func (p *Physical) SignalPower(link topology.LinkID) float64 {
+	if link < 0 || int(link) >= len(p.signal) {
+		return 0
+	}
+	return p.signal[link]
+}
+
+// InterferencePower returns the interference power that link from's
+// transmitter deposits at link at's receiver.
+func (p *Physical) InterferencePower(from, at topology.LinkID) float64 {
+	if from < 0 || int(from) >= len(p.interf) || at < 0 || int(at) >= len(p.interf) || from == at {
+		return 0
+	}
+	return p.interf[from][at]
+}
+
+// MaxRate implements Model.
+func (p *Physical) MaxRate(link topology.LinkID, concurrent []Couple) radio.Rate {
+	if int(link) >= len(p.signal) || link < 0 {
+		return 0
+	}
+	self, err := p.net.Link(link)
+	if err != nil {
+		return 0
+	}
+	total := 0.0
+	for _, c := range concurrent {
+		if c.Link == link {
+			continue
+		}
+		other, err := p.net.Link(c.Link)
+		if err != nil {
+			return 0
+		}
+		if SharesNode(self, other) {
+			return 0
+		}
+		total += p.interf[c.Link][link]
+	}
+	r, ok := p.net.Profile().MaxRate(p.signal[link], total)
+	if !ok {
+		return 0
+	}
+	return r
+}
+
+// Rates implements Model: the rates the link supports alone are every
+// profile rate at or below its distance-limited maximum.
+func (p *Physical) Rates(link topology.LinkID) []radio.Rate {
+	l, err := p.net.Link(link)
+	if err != nil {
+		return nil
+	}
+	var out []radio.Rate
+	for _, r := range p.net.Profile().Rates() {
+		if r <= l.MaxRate {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MaxRateVector returns the maximum supported rate vector of a concurrent
+// transmission set (paper Sec. 2.3): the i-th entry is the highest rate
+// links[i] sustains while all the other listed links transmit. The
+// second return is false if any link in the set cannot transmit at all
+// (the set is not an independent set).
+func (p *Physical) MaxRateVector(links []topology.LinkID) ([]radio.Rate, bool) {
+	couples := make([]Couple, 0, len(links))
+	for _, id := range links {
+		// Rates are irrelevant to Physical interference; use 0 markers.
+		couples = append(couples, Couple{Link: id})
+	}
+	rates := make([]radio.Rate, len(links))
+	ok := true
+	for i, id := range links {
+		others := make([]Couple, 0, len(couples)-1)
+		for j, c := range couples {
+			if j != i {
+				others = append(others, c)
+			}
+		}
+		rates[i] = p.MaxRate(id, others)
+		if rates[i] == 0 {
+			ok = false
+		}
+	}
+	return rates, ok
+}

@@ -1,0 +1,102 @@
+package conflict
+
+import (
+	"math"
+
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// Protocol is the pairwise interference-range model: transmitter k
+// interferes with link j at rate r iff the transmitter sits within link
+// j's rate-dependent interference radius
+//
+//	IR_j(r) = dist(tx_j, rx_j) * SINR(r)^(1/alpha),
+//
+// the distance at which a single interferer alone would push link j's
+// SIR exactly to rate r's threshold. Higher rates need higher SINR and
+// therefore have larger interference radii — the effect behind the
+// paper's Scenario II chain, where L1 at 54 Mbps conflicts with L4 but
+// L1 at 36 Mbps does not. Unlike Physical, interference is evaluated
+// pairwise with no power summation. Half-duplex node exclusivity is
+// enforced.
+type Protocol struct {
+	net *topology.Network
+}
+
+var _ Model = (*Protocol)(nil)
+
+// NewProtocol builds a Protocol model over the given network.
+func NewProtocol(net *topology.Network) *Protocol {
+	return &Protocol{net: net}
+}
+
+// Network returns the underlying network.
+func (p *Protocol) Network() *topology.Network { return p.net }
+
+// interferenceRadius returns IR for a link of length dist at rate r.
+func (p *Protocol) interferenceRadius(dist float64, r radio.Rate) float64 {
+	thr, ok := p.net.Profile().SINRThreshold(r)
+	if !ok {
+		return math.Inf(1)
+	}
+	return dist * math.Pow(thr, 1/p.net.Profile().Exponent())
+}
+
+// MaxRate implements Model.
+func (p *Protocol) MaxRate(link topology.LinkID, concurrent []Couple) radio.Rate {
+	self, err := p.net.Link(link)
+	if err != nil {
+		return 0
+	}
+	for _, c := range concurrent {
+		if c.Link == link {
+			continue
+		}
+		other, err := p.net.Link(c.Link)
+		if err != nil {
+			return 0
+		}
+		if SharesNode(self, other) {
+			return 0
+		}
+	}
+	// Highest available rate whose interference radius excludes every
+	// concurrent transmitter.
+	for _, r := range p.Rates(link) {
+		ir := p.interferenceRadius(self.Dist, r)
+		clear := true
+		for _, c := range concurrent {
+			if c.Link == link {
+				continue
+			}
+			other, err := p.net.Link(c.Link)
+			if err != nil {
+				return 0
+			}
+			if mustNodeDist(p.net, other.Tx, self.Rx) <= ir {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			return r
+		}
+	}
+	return 0
+}
+
+// Rates implements Model.
+func (p *Protocol) Rates(link topology.LinkID) []radio.Rate {
+	l, err := p.net.Link(link)
+	if err != nil {
+		return nil
+	}
+	var out []radio.Rate
+	for _, r := range p.net.Profile().Rates() {
+		if r <= l.MaxRate {
+			out = append(out, r)
+		}
+	}
+	return out
+}

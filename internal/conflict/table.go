@@ -1,0 +1,128 @@
+package conflict
+
+import (
+	"fmt"
+	"sort"
+
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// Table is an explicitly enumerated pairwise conflict model. It exists
+// to encode the paper's worked examples (Fig. 1 Scenario I and II)
+// exactly as stated, and to build adversarial fixtures in tests. The
+// caller declares which rates each link supports alone and which
+// (link, rate) couples interfere; anything not declared does not
+// conflict. Node-exclusivity must be encoded explicitly with
+// AddConflictAllRates when it matters.
+type Table struct {
+	rates     map[topology.LinkID][]radio.Rate
+	conflicts map[pairKey]bool
+}
+
+var _ Model = (*Table)(nil)
+
+type coupleKey struct {
+	link topology.LinkID
+	rate radio.Rate
+}
+
+type pairKey struct {
+	a coupleKey
+	b coupleKey
+}
+
+func normPair(a, b coupleKey) pairKey {
+	if b.link < a.link || (b.link == a.link && b.rate < a.rate) {
+		a, b = b, a
+	}
+	return pairKey{a: a, b: b}
+}
+
+// NewTable returns an empty table model.
+func NewTable() *Table {
+	return &Table{
+		rates:     make(map[topology.LinkID][]radio.Rate),
+		conflicts: make(map[pairKey]bool),
+	}
+}
+
+// SetRates declares the rates link supports when transmitting alone.
+func (t *Table) SetRates(link topology.LinkID, rates ...radio.Rate) {
+	rs := make([]radio.Rate, len(rates))
+	copy(rs, rates)
+	sort.Slice(rs, func(i, j int) bool { return rs[i] > rs[j] })
+	t.rates[link] = rs
+}
+
+// AddConflict declares that (la, ra) and (lb, rb) cannot both succeed
+// when transmitting simultaneously. The relation is symmetric.
+func (t *Table) AddConflict(la topology.LinkID, ra radio.Rate, lb topology.LinkID, rb radio.Rate) error {
+	if la == lb {
+		return fmt.Errorf("conflict: self conflict on link %d", la)
+	}
+	t.conflicts[normPair(coupleKey{la, ra}, coupleKey{lb, rb})] = true
+	return nil
+}
+
+// AddConflictAllRates declares that la and lb interfere at every
+// declared rate combination — e.g. links sharing a node, or links whose
+// mutual interference is rate-independent. SetRates must already have
+// been called for both links.
+func (t *Table) AddConflictAllRates(la, lb topology.LinkID) error {
+	if len(t.rates[la]) == 0 || len(t.rates[lb]) == 0 {
+		return fmt.Errorf("conflict: SetRates must be called for links %d and %d before AddConflictAllRates", la, lb)
+	}
+	for _, ra := range t.rates[la] {
+		for _, rb := range t.rates[lb] {
+			if err := t.AddConflict(la, ra, lb, rb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HasConflict reports whether the given couples were declared
+// conflicting.
+func (t *Table) HasConflict(la topology.LinkID, ra radio.Rate, lb topology.LinkID, rb radio.Rate) bool {
+	return t.conflicts[normPair(coupleKey{la, ra}, coupleKey{lb, rb})]
+}
+
+// MaxRate implements Model.
+func (t *Table) MaxRate(link topology.LinkID, concurrent []Couple) radio.Rate {
+	for _, r := range t.rates[link] {
+		clear := true
+		for _, c := range concurrent {
+			if c.Link == link {
+				continue
+			}
+			if t.HasConflict(link, r, c.Link, c.Rate) {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			return r
+		}
+	}
+	return 0
+}
+
+// Rates implements Model.
+func (t *Table) Rates(link topology.LinkID) []radio.Rate {
+	rs := t.rates[link]
+	out := make([]radio.Rate, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// Links returns every link with declared rates, in ascending ID order.
+func (t *Table) Links() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(t.rates))
+	for id := range t.rates {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

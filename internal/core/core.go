@@ -1,0 +1,395 @@
+// Package core implements the paper's primary contribution: the exact
+// available-bandwidth model for a path with background traffic in a
+// multirate, multihop wireless network (Sec. 2), together with the
+// clique-derived upper bounds and independent-set lower bounds of
+// Sec. 3.
+//
+// The exact model (Eq. 6) is a linear program over the maximal
+// independent sets (coupled with maximum supported rate vectors) of the
+// union of all involved paths: time shares lambda_alpha are assigned to
+// the sets so that every background demand is met, the total share stays
+// within one, and the throughput of the new path is maximized. Because
+// the same link may appear with different rates in different sets, the
+// optimum exploits time-varying link adaptation — the effect that breaks
+// classical clique bounds (Sec. 3.2, reproduced in this package's
+// bounds.go).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"abw/internal/conflict"
+	"abw/internal/indepset"
+	"abw/internal/lp"
+	"abw/internal/schedule"
+	"abw/internal/topology"
+)
+
+// Flow is a routed traffic demand: a path and its end-to-end throughput
+// requirement in Mbps.
+type Flow struct {
+	Path   topology.Path
+	Demand float64
+}
+
+// Options configure the availability computations.
+type Options struct {
+	// SetLimit caps independent-set enumeration (0 = package default).
+	SetLimit int
+	// OmegaLimit caps the number of rate vectors the Eq. 9 upper-bound
+	// LP enumerates (0 = 4096). The paper notes Omega can reach Z^L and
+	// proposes restricted enumerations; exceeding the cap is an error.
+	OmegaLimit int
+}
+
+func (o Options) omegaLimit() int {
+	if o.OmegaLimit <= 0 {
+		return 4096
+	}
+	return o.OmegaLimit
+}
+
+// Result is the outcome of an availability computation.
+type Result struct {
+	// Status is Optimal when the background demands are satisfiable;
+	// Infeasible when the background alone cannot be delivered.
+	Status lp.Status
+	// Bandwidth is the maximum supportable throughput of the new path in
+	// Mbps (the f_{K+1} of Eq. 6); meaningful only when Status is
+	// Optimal.
+	Bandwidth float64
+	// Schedule delivers the background demands plus Bandwidth on the new
+	// path; meaningful only when Status is Optimal.
+	Schedule schedule.Schedule
+	// Sets are the independent sets made available to the optimizer.
+	Sets []indepset.Set
+	// Links is the link universe P (union of all involved paths).
+	Links []topology.LinkID
+}
+
+// AvailableBandwidth solves the paper's exact model (Eq. 6): the maximum
+// throughput deliverable over newPath while every background flow keeps
+// its demand, assuming globally optimal link scheduling. It enumerates
+// the maximal independent sets of the union of all involved paths.
+func AvailableBandwidth(m conflict.Model, background []Flow, newPath topology.Path, opts Options) (*Result, error) {
+	if len(newPath) == 0 {
+		return nil, fmt.Errorf("core: empty new path")
+	}
+	if err := validateFlows(background); err != nil {
+		return nil, err
+	}
+	paths := make([]topology.Path, 0, len(background)+1)
+	for _, f := range background {
+		paths = append(paths, f.Path)
+	}
+	paths = append(paths, newPath)
+	universe := topology.LinkUnion(paths...)
+
+	sets, err := indepset.Enumerate(m, universe, indepset.Options{Limit: opts.SetLimit})
+	if err != nil {
+		return nil, fmt.Errorf("core: enumerating independent sets: %w", err)
+	}
+	return solveWithSets(m, background, newPath, universe, sets)
+}
+
+// AvailableBandwidthLowerBound is AvailableBandwidth with graceful
+// degradation for large instances: when independent-set enumeration
+// exceeds the limit, the LP runs over the truncated (still sound) set
+// family and the result is a LOWER bound on the true availability
+// (Sec. 3.3); Truncated reports when that happened.
+func AvailableBandwidthLowerBound(m conflict.Model, background []Flow, newPath topology.Path, opts Options) (*Result, bool, error) {
+	if len(newPath) == 0 {
+		return nil, false, fmt.Errorf("core: empty new path")
+	}
+	if err := validateFlows(background); err != nil {
+		return nil, false, err
+	}
+	paths := make([]topology.Path, 0, len(background)+1)
+	for _, f := range background {
+		paths = append(paths, f.Path)
+	}
+	paths = append(paths, newPath)
+	universe := topology.LinkUnion(paths...)
+	sets, truncated, err := indepset.EnumeratePartial(m, universe, indepset.Options{Limit: opts.SetLimit})
+	if err != nil {
+		return nil, false, fmt.Errorf("core: enumerating independent sets: %w", err)
+	}
+	res, err := solveWithSets(m, background, newPath, universe, sets)
+	if err != nil {
+		return nil, truncated, err
+	}
+	return res, truncated, nil
+}
+
+// AvailableBandwidthWithSets solves the Eq. 6 LP restricted to the given
+// independent sets. With all maximal sets it is exact; with a subset it
+// is the lower bound of Sec. 3.3 (the restricted solution space is
+// contained in the true one).
+func AvailableBandwidthWithSets(m conflict.Model, background []Flow, newPath topology.Path, sets []indepset.Set) (*Result, error) {
+	if len(newPath) == 0 {
+		return nil, fmt.Errorf("core: empty new path")
+	}
+	if err := validateFlows(background); err != nil {
+		return nil, err
+	}
+	paths := make([]topology.Path, 0, len(background)+1)
+	for _, f := range background {
+		paths = append(paths, f.Path)
+	}
+	paths = append(paths, newPath)
+	universe := topology.LinkUnion(paths...)
+	return solveWithSets(m, background, newPath, universe, sets)
+}
+
+func solveWithSets(m conflict.Model, background []Flow, newPath topology.Path, universe []topology.LinkID, sets []indepset.Set) (*Result, error) {
+	demand := linkDemand(background)
+	newCount := linkCount(newPath)
+
+	prob := lp.NewProblem(lp.Maximize)
+	lambdas := make([]lp.Var, len(sets))
+	for i, s := range sets {
+		lambdas[i] = prob.AddVar(fmt.Sprintf("lambda[%s]", s.Key()), 0)
+	}
+	f := prob.AddVar("f", 1)
+
+	// Total share within one period.
+	shareRow := make(map[lp.Var]float64, len(lambdas))
+	for _, v := range lambdas {
+		shareRow[v] = 1
+	}
+	if len(shareRow) > 0 {
+		if err := prob.AddConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	// Per-link throughput covers background demand plus f on the new
+	// path.
+	for _, link := range universe {
+		row := make(map[lp.Var]float64)
+		for i, s := range sets {
+			if r := s.Rate(link); r > 0 {
+				row[lambdas[i]] = float64(r)
+			}
+		}
+		if c := newCount[link]; c > 0 {
+			row[f] = -float64(c)
+		}
+		if len(row) == 0 && demand[link] <= 0 {
+			continue
+		}
+		if err := prob.AddConstraint(fmt.Sprintf("link-%d", link), row, lp.GE, demand[link]); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: solving Eq.6 LP: %w", err)
+	}
+	res := &Result{Status: sol.Status, Sets: sets, Links: universe}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.Bandwidth = sol.Objective
+	var sched schedule.Schedule
+	for i, s := range sets {
+		if share := sol.Value(lambdas[i]); share > 1e-12 {
+			sched.Slots = append(sched.Slots, schedule.Slot{Set: s, Share: share})
+		}
+	}
+	res.Schedule = sched.Normalized()
+	return res, nil
+}
+
+// FeasibleDemands reports whether the given flows can all be delivered
+// simultaneously (the feasibility side of Eq. 2/4), and returns a
+// delivering schedule when they can.
+func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedule.Schedule, error) {
+	if err := validateFlows(flows); err != nil {
+		return false, schedule.Schedule{}, err
+	}
+	if len(flows) == 0 {
+		return true, schedule.Schedule{}, nil
+	}
+	paths := make([]topology.Path, 0, len(flows))
+	for _, f := range flows {
+		paths = append(paths, f.Path)
+	}
+	universe := topology.LinkUnion(paths...)
+	sets, err := indepset.Enumerate(m, universe, indepset.Options{Limit: opts.SetLimit})
+	if err != nil {
+		return false, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
+	}
+
+	// Reuse the Eq. 6 machinery with the last flow's demand moved into
+	// the background: treat all flows as background and maximize the
+	// leftover share (equivalently: any feasible solution proves
+	// deliverability).
+	demand := linkDemand(flows)
+	prob := lp.NewProblem(lp.Maximize)
+	lambdas := make([]lp.Var, len(sets))
+	shareRow := make(map[lp.Var]float64, len(sets))
+	for i, s := range sets {
+		lambdas[i] = prob.AddVar(fmt.Sprintf("lambda[%s]", s.Key()), -1)
+		shareRow[lambdas[i]] = 1
+	}
+	if len(shareRow) > 0 {
+		if err := prob.AddConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+			return false, schedule.Schedule{}, fmt.Errorf("core: %w", err)
+		}
+	}
+	for _, link := range universe {
+		if demand[link] <= 0 {
+			continue
+		}
+		row := make(map[lp.Var]float64)
+		for i, s := range sets {
+			if r := s.Rate(link); r > 0 {
+				row[lambdas[i]] = float64(r)
+			}
+		}
+		if len(row) == 0 {
+			return false, schedule.Schedule{}, nil // demanded link can never transmit
+		}
+		if err := prob.AddConstraint(fmt.Sprintf("link-%d", link), row, lp.GE, demand[link]); err != nil {
+			return false, schedule.Schedule{}, fmt.Errorf("core: %w", err)
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return false, schedule.Schedule{}, fmt.Errorf("core: solving feasibility LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return false, schedule.Schedule{}, nil
+	}
+	var sched schedule.Schedule
+	for i, s := range sets {
+		if share := sol.Value(lambdas[i]); share > 1e-12 {
+			sched.Slots = append(sched.Slots, schedule.Slot{Set: s, Share: share})
+		}
+	}
+	return true, sched.Normalized(), nil
+}
+
+// MaxDemandScale returns the largest theta such that every new flow j
+// can be delivered at theta times its demand alongside the background
+// (the paper's multi-flow extension of Sec. 2.5). theta >= 1 means the
+// new flows are jointly admissible. The second return is the delivering
+// schedule at the optimum.
+func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options) (float64, schedule.Schedule, error) {
+	if len(newFlows) == 0 {
+		return 0, schedule.Schedule{}, fmt.Errorf("core: no new flows")
+	}
+	if err := validateFlows(background); err != nil {
+		return 0, schedule.Schedule{}, err
+	}
+	if err := validateFlows(newFlows); err != nil {
+		return 0, schedule.Schedule{}, err
+	}
+	for _, f := range newFlows {
+		if f.Demand <= 0 {
+			return 0, schedule.Schedule{}, fmt.Errorf("core: new flow demand must be positive, got %g", f.Demand)
+		}
+	}
+	paths := make([]topology.Path, 0, len(background)+len(newFlows))
+	for _, f := range background {
+		paths = append(paths, f.Path)
+	}
+	for _, f := range newFlows {
+		paths = append(paths, f.Path)
+	}
+	universe := topology.LinkUnion(paths...)
+	sets, err := indepset.Enumerate(m, universe, indepset.Options{Limit: opts.SetLimit})
+	if err != nil {
+		return 0, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
+	}
+
+	bgDemand := linkDemand(background)
+	// Per-link coefficient of theta: sum over new flows of demand *
+	// occurrences.
+	thetaCoef := make(map[topology.LinkID]float64)
+	for _, f := range newFlows {
+		for _, l := range f.Path {
+			thetaCoef[l] += f.Demand
+		}
+	}
+
+	prob := lp.NewProblem(lp.Maximize)
+	lambdas := make([]lp.Var, len(sets))
+	shareRow := make(map[lp.Var]float64, len(sets))
+	for i, s := range sets {
+		lambdas[i] = prob.AddVar(fmt.Sprintf("lambda[%s]", s.Key()), 0)
+		shareRow[lambdas[i]] = 1
+	}
+	theta := prob.AddVar("theta", 1)
+	if len(shareRow) > 0 {
+		if err := prob.AddConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+			return 0, schedule.Schedule{}, fmt.Errorf("core: %w", err)
+		}
+	}
+	for _, link := range universe {
+		row := make(map[lp.Var]float64)
+		for i, s := range sets {
+			if r := s.Rate(link); r > 0 {
+				row[lambdas[i]] = float64(r)
+			}
+		}
+		if c := thetaCoef[link]; c > 0 {
+			row[theta] = -c
+		}
+		if len(row) == 0 && bgDemand[link] <= 0 {
+			continue
+		}
+		if err := prob.AddConstraint(fmt.Sprintf("link-%d", link), row, lp.GE, bgDemand[link]); err != nil {
+			return 0, schedule.Schedule{}, fmt.Errorf("core: %w", err)
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, schedule.Schedule{}, fmt.Errorf("core: solving scale LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return 0, schedule.Schedule{}, nil
+	}
+	var sched schedule.Schedule
+	for i, s := range sets {
+		if share := sol.Value(lambdas[i]); share > 1e-12 {
+			sched.Slots = append(sched.Slots, schedule.Slot{Set: s, Share: share})
+		}
+	}
+	return sol.Objective, sched.Normalized(), nil
+}
+
+func validateFlows(flows []Flow) error {
+	for i, f := range flows {
+		if len(f.Path) == 0 {
+			return fmt.Errorf("core: flow %d has empty path", i)
+		}
+		if f.Demand < 0 || math.IsNaN(f.Demand) || math.IsInf(f.Demand, 0) {
+			return fmt.Errorf("core: flow %d has invalid demand %g", i, f.Demand)
+		}
+	}
+	return nil
+}
+
+// linkDemand aggregates per-link background demand: a flow contributes
+// its demand to every occurrence of a link on its path.
+func linkDemand(flows []Flow) map[topology.LinkID]float64 {
+	out := make(map[topology.LinkID]float64)
+	for _, f := range flows {
+		for _, l := range f.Path {
+			out[l] += f.Demand
+		}
+	}
+	return out
+}
+
+func linkCount(path topology.Path) map[topology.LinkID]int {
+	out := make(map[topology.LinkID]int, len(path))
+	for _, l := range path {
+		out[l]++
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"abw/internal/conflict"
+	"abw/internal/indepset"
+	"abw/internal/lp"
+	"abw/internal/schedule"
+	"abw/internal/topology"
+)
+
+// MaxMinFair allocates end-to-end throughput to the given flows
+// max-min fairly over the exact feasibility polytope (Eq. 4):
+// progressive filling raises every flow's allocation together,
+// freezing flows as they hit their bottleneck (or their Demand, when
+// positive — pass Demand 0 for an uncapped flow). It returns the
+// per-flow allocations in input order and a schedule delivering them.
+//
+// Max-min fairness over independent sets is the resource-allocation
+// question of the paper's reference [11], answered here with the
+// paper's own rate-coupled machinery.
+func MaxMinFair(m conflict.Model, flows []Flow, opts Options) ([]float64, schedule.Schedule, error) {
+	if len(flows) == 0 {
+		return nil, schedule.Schedule{}, fmt.Errorf("core: no flows")
+	}
+	if err := validateFlows(flows); err != nil {
+		return nil, schedule.Schedule{}, err
+	}
+	paths := make([]topology.Path, 0, len(flows))
+	for _, f := range flows {
+		paths = append(paths, f.Path)
+	}
+	universe := topology.LinkUnion(paths...)
+	sets, err := indepset.Enumerate(m, universe, indepset.Options{Limit: opts.SetLimit})
+	if err != nil {
+		return nil, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
+	}
+
+	alloc := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
+	remaining := len(flows)
+
+	for round := 0; remaining > 0 && round <= len(flows); round++ {
+		theta, _, err := solveFill(flows, universe, sets, alloc, frozen, -1)
+		if err != nil {
+			return nil, schedule.Schedule{}, err
+		}
+		// Cap active flows at their demands; demanded flows freeze when
+		// they reach it.
+		capped := theta
+		for j := range flows {
+			if !frozen[j] && flows[j].Demand > 0 && flows[j].Demand < capped {
+				capped = flows[j].Demand
+			}
+		}
+		for j := range flows {
+			if !frozen[j] {
+				alloc[j] = capped
+			}
+		}
+		if capped < theta {
+			for j := range flows {
+				if !frozen[j] && flows[j].Demand > 0 && flows[j].Demand <= capped+1e-9 {
+					frozen[j] = true
+					remaining--
+				}
+			}
+			continue
+		}
+		// Freeze the bottlenecked flows: those whose allocation cannot
+		// exceed theta while everyone else keeps at least theirs.
+		froze := 0
+		for j := range flows {
+			if frozen[j] {
+				continue
+			}
+			best, _, err := solveFill(flows, universe, sets, alloc, frozen, j)
+			if err != nil {
+				return nil, schedule.Schedule{}, err
+			}
+			if best <= theta+1e-7 {
+				frozen[j] = true
+				remaining--
+				froze++
+			}
+		}
+		if froze == 0 && remaining > 0 {
+			// Numerical stall: freeze everything at theta.
+			for j := range flows {
+				if !frozen[j] {
+					frozen[j] = true
+					remaining--
+				}
+			}
+		}
+	}
+
+	// Final schedule delivering the allocations.
+	final := make([]Flow, len(flows))
+	for j, f := range flows {
+		final[j] = Flow{Path: f.Path, Demand: alloc[j]}
+	}
+	ok, sched, err := FeasibleDemands(m, final, opts)
+	if err != nil {
+		return nil, schedule.Schedule{}, err
+	}
+	if !ok {
+		return nil, schedule.Schedule{}, fmt.Errorf("core: max-min allocation not schedulable (internal error)")
+	}
+	return alloc, sched, nil
+}
+
+// solveFill solves one progressive-filling LP. With boost < 0 it
+// maximizes the common allocation theta of all unfrozen flows (frozen
+// flows keep alloc[j]). With boost = j it maximizes flow j's allocation
+// while every other unfrozen flow keeps at least alloc (the freeze
+// test).
+func solveFill(
+	flows []Flow,
+	universe []topology.LinkID,
+	sets []indepset.Set,
+	alloc []float64,
+	frozen []bool,
+	boost int,
+) (float64, *lp.Solution, error) {
+	prob := lp.NewProblem(lp.Maximize)
+	lambdas := make([]lp.Var, len(sets))
+	shareRow := make(map[lp.Var]float64, len(sets))
+	for i, s := range sets {
+		lambdas[i] = prob.AddVar(fmt.Sprintf("lambda[%s]", s.Key()), 0)
+		shareRow[lambdas[i]] = 1
+	}
+	obj := prob.AddVar("objective", 1)
+	if len(shareRow) > 0 {
+		if err := prob.AddConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+			return 0, nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	// Per-link coverage: sum lambda R >= sum over flows of its
+	// per-occurrence allocation.
+	for _, link := range universe {
+		row := make(map[lp.Var]float64)
+		for i, s := range sets {
+			if r := s.Rate(link); r > 0 {
+				row[lambdas[i]] = float64(r)
+			}
+		}
+		rhs := 0.0
+		objCoef := 0.0
+		for j, f := range flows {
+			occ := 0
+			for _, l := range f.Path {
+				if l == link {
+					occ++
+				}
+			}
+			if occ == 0 {
+				continue
+			}
+			switch {
+			case frozen[j] || (boost >= 0 && j != boost):
+				rhs += float64(occ) * alloc[j]
+			default:
+				objCoef += float64(occ)
+			}
+		}
+		if objCoef > 0 {
+			row[obj] = -objCoef
+		}
+		if len(row) == 0 && rhs <= 0 {
+			continue
+		}
+		if err := prob.AddConstraint(fmt.Sprintf("link-%d", link), row, lp.GE, rhs); err != nil {
+			return 0, nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: solving filling LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return 0, sol, fmt.Errorf("core: filling LP %v", sol.Status)
+	}
+	return sol.Objective, sol, nil
+}

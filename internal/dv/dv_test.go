@@ -1,0 +1,291 @@
+package dv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/geom"
+	"abw/internal/graph"
+	"abw/internal/radio"
+	"abw/internal/routing"
+	"abw/internal/topology"
+)
+
+func gridNet(t *testing.T) *topology.Network {
+	t.Helper()
+	net, err := topology.New(radio.NewProfile80211a(), geom.GridPoints(9, 3, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestConvergesWithinBellmanFordBound(t *testing.T) {
+	net := gridNet(t)
+	e, err := New(net, graph.HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := e.RunToConvergence(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds > net.NumNodes() {
+		t.Errorf("converged in %d rounds, bound is %d", rounds, net.NumNodes())
+	}
+	if e.Messages() == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestMatchesCentralizedDijkstra(t *testing.T) {
+	net := gridNet(t)
+	weights := map[string]graph.Weight{
+		"hop count": graph.HopWeight,
+		"e2eTD": func(l topology.Link) float64 {
+			return 1 / float64(l.MaxRate)
+		},
+	}
+	for name, w := range weights {
+		t.Run(name, func(t *testing.T) {
+			e, err := New(net, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.RunToConvergence(0); err != nil {
+				t.Fatal(err)
+			}
+			for src := 0; src < net.NumNodes(); src++ {
+				for dst := 0; dst < net.NumNodes(); dst++ {
+					if src == dst {
+						continue
+					}
+					s, d := topology.NodeID(src), topology.NodeID(dst)
+					_, want, err := graph.ShortestPath(net, s, d, w)
+					if err != nil {
+						if _, ok := e.Cost(s, d); ok {
+							t.Errorf("%d->%d: dv has a route but Dijkstra does not", src, dst)
+						}
+						continue
+					}
+					got, ok := e.Cost(s, d)
+					if !ok {
+						t.Errorf("%d->%d: dv missing route (Dijkstra cost %g)", src, dst, want)
+						continue
+					}
+					if math.Abs(got-want) > 1e-9 {
+						t.Errorf("%d->%d: dv cost %g != Dijkstra %g", src, dst, got, want)
+					}
+					// The forwarded path must realize the advertised cost.
+					path, err := e.Route(s, d)
+					if err != nil {
+						t.Errorf("%d->%d: Route: %v", src, dst, err)
+						continue
+					}
+					pw, err := graph.PathWeight(net, path, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(pw-got) > 1e-9 {
+						t.Errorf("%d->%d: path weight %g != advertised %g", src, dst, pw, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAvgE2EDWeightsThroughDV(t *testing.T) {
+	// The paper's average-e2eD metric distributed: same routes as the
+	// centralized router.
+	net := gridNet(t)
+	m := conflict.NewPhysical(net)
+	idle := make([]float64, net.NumNodes())
+	rng := rand.New(rand.NewSource(8))
+	for i := range idle {
+		idle[i] = 0.2 + 0.8*rng.Float64()
+	}
+	w, err := routing.Weight(m, routing.MetricAvgE2ED, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(net, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunToConvergence(0); err != nil {
+		t.Fatal(err)
+	}
+	centralized, wantCost, err := graph.ShortestPath(net, 0, 8, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCost, ok := e.Cost(0, 8)
+	if !ok || math.Abs(gotCost-wantCost) > 1e-9 {
+		t.Errorf("dv cost = (%g,%v), centralized %g", gotCost, ok, wantCost)
+	}
+	path, err := e.Route(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := graph.PathWeight(net, path, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := graph.PathWeight(net, centralized, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pw-cw) > 1e-9 {
+		t.Errorf("dv path weight %g != centralized %g", pw, cw)
+	}
+}
+
+func TestDisconnectedPairsHaveNoRoute(t *testing.T) {
+	net, err := topology.New(radio.NewProfile80211a(), []geom.Point{
+		{X: 0}, {X: 50}, {X: 1000}, {X: 1050},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(net, graph.HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunToConvergence(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Cost(0, 3); ok {
+		t.Error("disconnected pair should have no cost")
+	}
+	if _, err := e.Route(0, 3); err == nil {
+		t.Error("disconnected pair should have no route")
+	}
+	// Connected pair within the island works.
+	if _, err := e.Route(0, 1); err != nil {
+		t.Errorf("intra-island route failed: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	net := gridNet(t)
+	if _, err := New(nil, graph.HopWeight); err == nil {
+		t.Error("nil network: expected error")
+	}
+	if _, err := New(net, nil); err == nil {
+		t.Error("nil weight: expected error")
+	}
+	e, err := New(net, graph.HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Route(0, 0); err == nil {
+		t.Error("src==dst: expected error")
+	}
+	if _, err := e.Route(0, 99); err == nil {
+		t.Error("out of range: expected error")
+	}
+	// Before any rounds, only self-routes exist.
+	if _, ok := e.Cost(0, 8); ok {
+		t.Error("pre-convergence cross-node cost should be unknown")
+	}
+	if c, ok := e.Cost(3, 3); !ok || c != 0 {
+		t.Error("self cost should be 0")
+	}
+}
+
+func TestConvergenceFailureBound(t *testing.T) {
+	net := gridNet(t)
+	e, err := New(net, graph.HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One round is not enough for a 3x3 grid diameter.
+	if _, err := e.RunToConvergence(1); err == nil {
+		t.Error("1-round budget should fail to converge")
+	}
+}
+
+func TestInfiniteWeightLinksExcluded(t *testing.T) {
+	net := gridNet(t)
+	// Exclude every link touching node 4 (the center).
+	w := func(l topology.Link) float64 {
+		if l.Tx == 4 || l.Rx == 4 {
+			return math.Inf(1)
+		}
+		return 1
+	}
+	e, err := New(net, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunToConvergence(0); err != nil {
+		t.Fatal(err)
+	}
+	path, err := e.Route(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := net.PathNodes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if n == 4 {
+			t.Errorf("route crosses the excluded center: %v", nodes)
+		}
+	}
+	if _, ok := e.Cost(4, 0); ok {
+		t.Error("isolated center should reach nobody")
+	}
+}
+
+// TestRandomMeshMatchesDijkstra fuzzes convergence on random geometric
+// meshes with random idleness-derived weights.
+func TestRandomMeshMatchesDijkstra(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := topology.New(radio.NewProfile80211a(),
+			geom.UniformPoints(rng, geom.Rect{W: 300, H: 300}, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idle := make([]float64, net.NumNodes())
+		for i := range idle {
+			idle[i] = 0.1 + 0.9*rng.Float64()
+		}
+		m := conflict.NewPhysical(net)
+		w, err := routing.Weight(m, routing.MetricAvgE2ED, idle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(net, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.RunToConvergence(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for src := 0; src < net.NumNodes(); src++ {
+			for dst := 0; dst < net.NumNodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				s, d := topology.NodeID(src), topology.NodeID(dst)
+				_, want, derr := graph.ShortestPath(net, s, d, w)
+				got, ok := e.Cost(s, d)
+				if derr != nil {
+					if ok {
+						t.Errorf("seed %d %d->%d: dv found a route Dijkstra did not", seed, src, dst)
+					}
+					continue
+				}
+				if !ok || math.Abs(got-want) > 1e-9 {
+					t.Errorf("seed %d %d->%d: dv (%.6f,%v) != Dijkstra %.6f", seed, src, dst, got, ok, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/indepset"
+	"abw/internal/radio"
+	"abw/internal/scenario"
+	"abw/internal/schedule"
+	"abw/internal/topology"
+)
+
+const eps = 1e-9
+
+// backgroundScheduleI is Scenario I's measured world: L1 and L2 each
+// busy for share lambda in separate slots (their shares "do not overlap
+// with each other" before the new flow arrives).
+func backgroundScheduleI(s *scenario.ScenarioI, lambda float64) schedule.Schedule {
+	return schedule.Schedule{Slots: []schedule.Slot{
+		{Share: lambda, Set: indepset.NewSet(conflict.Couple{Link: s.L1, Rate: s.Rate})},
+		{Share: lambda, Set: indepset.NewSet(conflict.Couple{Link: s.L2, Rate: s.Rate})},
+	}}
+}
+
+// TestScenarioIIdleTimeUnderestimates reproduces the introduction's
+// motivating example: carrier-sensed idleness at L3 is 1-2*lambda, so
+// idle-time-based admission allows only (1-2*lambda)*r even though the
+// true available bandwidth is (1-lambda)*r.
+func TestScenarioIIdleTimeUnderestimates(t *testing.T) {
+	const lambda = 0.3
+	s := scenario.NewScenarioI(54)
+	sched := backgroundScheduleI(s, lambda)
+
+	idle := LinkIdleFromSchedule(s.Model, sched, s.L3, 54)
+	if math.Abs(idle-(1-2*lambda)) > eps {
+		t.Fatalf("idle(L3) = %.4f, want %.4f", idle, 1-2*lambda)
+	}
+	ps := PathState{Path: []topology.LinkID{s.L3}, Rates: []radio.Rate{54}, Idle: []float64{idle}}
+
+	bn, err := BottleneckNode(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bn-(1-2*lambda)*54) > eps {
+		t.Errorf("bottleneck estimate = %.4f, want (1-2lambda)*54 = %.4f", bn, (1-2*lambda)*54)
+	}
+	// The idle-time estimate is strictly below the true optimum
+	// (1-lambda)*54 = 37.8 computed by the exact model.
+	if bn >= (1-lambda)*54 {
+		t.Errorf("idle-time estimate %.4f should underestimate the true %.4f", bn, (1-lambda)*54)
+	}
+	// L1 and L2 do not hear each other: their idleness only discounts
+	// their own slots.
+	if got := LinkIdleFromSchedule(s.Model, sched, s.L1, 54); math.Abs(got-(1-lambda)) > eps {
+		t.Errorf("idle(L1) = %.4f, want %.4f", got, 1-lambda)
+	}
+}
+
+// TestScenarioIICliqueConstraintLightLoad reproduces the Fig. 4
+// light-load observation: with no background traffic the clique
+// constraint (Eq. 11) under-estimates the true multirate bandwidth
+// because it cannot exploit link adaptation.
+func TestScenarioIICliqueConstraintLightLoad(t *testing.T) {
+	s := scenario.NewScenarioII()
+	ps := PathState{
+		Path:  s.Path,
+		Rates: []radio.Rate{54, 54, 54, 54}, // alone max rates
+		Idle:  []float64{1, 1, 1, 1},
+	}
+	cc, err := CliqueConstraint(s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local clique at all-54 covers the whole chain: bound = 54/4 = 13.5,
+	// strictly below the exact 16.2.
+	if math.Abs(cc-13.5) > eps {
+		t.Errorf("clique constraint = %.4f, want 13.5", cc)
+	}
+	if cc >= 16.2 {
+		t.Error("clique constraint should underestimate the multirate optimum at light load")
+	}
+	// With the paper's R2 rates, the tightest local clique is
+	// {L1@36,L2@54,L3@54}: 108/7.
+	psR2 := PathState{Path: s.Path, Rates: []radio.Rate{36, 54, 54, 54}, Idle: []float64{1, 1, 1, 1}}
+	cc2, err := CliqueConstraint(s.Model, psR2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cc2-108.0/7) > eps {
+		t.Errorf("clique constraint @R2 = %.4f, want 108/7 = %.4f", cc2, 108.0/7)
+	}
+}
+
+func TestConservativeCliqueSingleHop(t *testing.T) {
+	s := scenario.NewScenarioI(54)
+	ps := PathState{Path: []topology.LinkID{s.L3}, Rates: []radio.Rate{54}, Idle: []float64{0.4}}
+	got, err := ConservativeClique(s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.4*54) > eps {
+		t.Errorf("conservative clique = %.4f, want 21.6", got)
+	}
+}
+
+func TestConservativeCliqueOrdering(t *testing.T) {
+	// Hand-computed Eq. 13 on a 3-link full clique with distinct idle
+	// ratios: rates (54,36,18), idle (0.2,0.5,1.0) sorted ascending.
+	// prefix sums of 1/r in idle order: 1/54; 1/54+1/36; +1/18.
+	tb := conflict.NewTable()
+	for l := topology.LinkID(0); l < 3; l++ {
+		tb.SetRates(l, 54, 36, 18)
+	}
+	for i := topology.LinkID(0); i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if err := tb.AddConflictAllRates(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ps := PathState{
+		Path:  []topology.LinkID{0, 1, 2},
+		Rates: []radio.Rate{54, 36, 18},
+		Idle:  []float64{0.2, 0.5, 1.0},
+	}
+	want := math.Min(0.2/(1.0/54), math.Min(0.5/(1.0/54+1.0/36), 1.0/(1.0/54+1.0/36+1.0/18)))
+	got, err := ConservativeClique(tb, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > eps {
+		t.Errorf("conservative clique = %.6f, want %.6f", got, want)
+	}
+}
+
+func TestExpectedCliqueTime(t *testing.T) {
+	s := scenario.NewScenarioII()
+	ps := PathState{Path: s.Path, Rates: []radio.Rate{54, 54, 54, 54}, Idle: []float64{0.5, 1, 1, 0.5}}
+	// Single local clique of all four: T = 1/(0.5*54) + 1/54 + 1/54 + 1/(0.5*54).
+	wantT := 2/(0.5*54) + 2.0/54
+	got, err := ExpectedCliqueTime(s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1/wantT) > eps {
+		t.Errorf("ECTT = %.6f, want %.6f", got, 1/wantT)
+	}
+	// Zero idleness anywhere forces the estimate to zero.
+	psZero := PathState{Path: s.Path, Rates: []radio.Rate{54, 54, 54, 54}, Idle: []float64{0, 1, 1, 1}}
+	got, err = ExpectedCliqueTime(s.Model, psZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("ECTT with zero idle = %.6f, want 0", got)
+	}
+}
+
+func TestMinOfBothEqualsMin(t *testing.T) {
+	s := scenario.NewScenarioII()
+	ps := PathState{Path: s.Path, Rates: []radio.Rate{54, 54, 54, 54}, Idle: []float64{0.3, 0.8, 1, 0.9}}
+	cc, err := CliqueConstraint(s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := BottleneckNode(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := MinCliqueBottleneck(s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(both-math.Min(cc, bn)) > eps {
+		t.Errorf("min-of-both = %.6f, want min(%.6f, %.6f)", both, cc, bn)
+	}
+}
+
+// TestEstimatorOrderInvariants checks the provable dominance chain on
+// random inputs: ECTT <= conservative <= min-of-both <= both Eq.10 and
+// Eq.11.
+func TestEstimatorOrderInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rates := []radio.Rate{54, 36, 18, 6}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		tb := conflict.NewTable()
+		var path []topology.LinkID
+		var psRates []radio.Rate
+		var idle []float64
+		for i := topology.LinkID(0); int(i) < n; i++ {
+			tb.SetRates(i, rates...)
+			path = append(path, i)
+			psRates = append(psRates, rates[rng.Intn(len(rates))])
+			idle = append(idle, 0.05+0.95*rng.Float64())
+		}
+		// Random conflicts between consecutive-ish links (rate-blind to
+		// keep local cliques meaningful).
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if j == i+1 || rng.Float64() < 0.5 {
+					if err := tb.AddConflictAllRates(topology.LinkID(i), topology.LinkID(j)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		ps := PathState{Path: path, Rates: psRates, Idle: idle}
+		all, err := EstimateAll(tb, ps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ectt := all[MetricExpectedCliqueTime]
+		cons := all[MetricConservativeClique]
+		both := all[MetricMinOfBoth]
+		cc := all[MetricCliqueConstraint]
+		bn := all[MetricBottleneckNode]
+		if ectt > cons+eps {
+			t.Errorf("trial %d: ECTT %.6f > conservative %.6f", trial, ectt, cons)
+		}
+		if cons > both+eps {
+			t.Errorf("trial %d: conservative %.6f > min-of-both %.6f", trial, cons, both)
+		}
+		if both > cc+eps || both > bn+eps {
+			t.Errorf("trial %d: min-of-both %.6f exceeds clique %.6f or bottleneck %.6f", trial, both, cc, bn)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := scenario.NewScenarioI(54)
+	bad := []PathState{
+		{},
+		{Path: []topology.LinkID{s.L3}, Rates: []radio.Rate{54}},
+		{Path: []topology.LinkID{s.L3}, Rates: []radio.Rate{0}, Idle: []float64{1}},
+		{Path: []topology.LinkID{s.L3}, Rates: []radio.Rate{54}, Idle: []float64{-0.1}},
+		{Path: []topology.LinkID{s.L3}, Rates: []radio.Rate{54}, Idle: []float64{1.5}},
+	}
+	for i, ps := range bad {
+		if err := ps.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+		if _, err := BottleneckNode(ps); err == nil {
+			t.Errorf("case %d: BottleneckNode should reject invalid state", i)
+		}
+	}
+	good := PathState{Path: []topology.LinkID{s.L3}, Rates: []radio.Rate{54}, Idle: []float64{1}}
+	if _, err := Estimate(Metric(0), s.Model, good); err == nil {
+		t.Error("unknown metric: expected error")
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	for _, m := range AllMetrics() {
+		if s := m.String(); s == "" || s[0] == 'M' {
+			t.Errorf("metric %d has bad label %q", int(m), s)
+		}
+	}
+	if Metric(99).String() != "Metric(99)" {
+		t.Error("unknown metric label wrong")
+	}
+}
+
+func TestExplainBindings(t *testing.T) {
+	s := scenario.NewScenarioII()
+	ps := PathState{
+		Path:  s.Path,
+		Rates: []radio.Rate{36, 54, 54, 54},
+		Idle:  []float64{1, 1, 1, 0.1},
+	}
+	// Clique constraint: binding clique is {L1@36,L2,L3} (108/7 < 18).
+	exp, err := Explain(MetricCliqueConstraint, s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exp.Value-108.0/7) > eps {
+		t.Errorf("clique value = %.4f, want 108/7", exp.Value)
+	}
+	if exp.BindingClique.Key() != "0@36|1@54|2@54" {
+		t.Errorf("binding clique = %v", exp.BindingClique)
+	}
+	if exp.BindingHop != -1 {
+		t.Errorf("binding hop = %d, want -1", exp.BindingHop)
+	}
+	// Bottleneck: hop 3 (idle 0.1) binds.
+	exp, err = Explain(MetricBottleneckNode, s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.BindingHop != 3 {
+		t.Errorf("bottleneck binding hop = %d, want 3", exp.BindingHop)
+	}
+	if math.Abs(exp.Value-0.1*54) > eps {
+		t.Errorf("bottleneck value = %.4f, want 5.4", exp.Value)
+	}
+	// Conservative: value must equal the plain estimator, with some
+	// binding clique attached.
+	exp, err = Explain(MetricConservativeClique, s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ConservativeClique(s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exp.Value-direct) > eps {
+		t.Errorf("conservative explain %.4f != direct %.4f", exp.Value, direct)
+	}
+	if exp.BindingClique.Len() == 0 {
+		t.Error("conservative explanation missing its binding clique")
+	}
+	// Unsupported metrics fall back to the bare value.
+	exp, err = Explain(MetricExpectedCliqueTime, s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directE, err := ExpectedCliqueTime(s.Model, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Value != directE || exp.BindingClique.Len() != 0 {
+		t.Errorf("fallback explanation wrong: %+v", exp)
+	}
+}
+
+func TestExplainMatchesEstimateEverywhere(t *testing.T) {
+	s := scenario.NewScenarioII()
+	ps := PathState{
+		Path:  s.Path,
+		Rates: []radio.Rate{54, 54, 54, 54},
+		Idle:  []float64{0.4, 0.9, 1, 0.7},
+	}
+	for _, metric := range AllMetrics() {
+		exp, err := Explain(metric, s.Model, ps)
+		if err != nil {
+			t.Fatalf("%v: %v", metric, err)
+		}
+		direct, err := Estimate(metric, s.Model, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exp.Value-direct) > eps {
+			t.Errorf("%v: explain %.6f != estimate %.6f", metric, exp.Value, direct)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package estimate
+
+import (
+	"math"
+	"sort"
+
+	"abw/internal/clique"
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// Explanation reports why an estimator returned its value: the binding
+// local clique (empty for estimators bound by a single hop) and the
+// binding hop index (-1 when a whole clique binds).
+type Explanation struct {
+	// Value is the estimate itself.
+	Value float64
+	// BindingClique is the local interference clique that produced the
+	// minimum, when one did.
+	BindingClique clique.Clique
+	// BindingHop is the hop index whose idle-time budget bound the
+	// estimate, or -1.
+	BindingHop int
+}
+
+// Explain computes an estimator together with its binding constraint —
+// the diagnosis a network operator needs to know WHERE a path's
+// bandwidth is lost. Supported for the clique constraint (binding
+// clique), bottleneck node (binding hop), and conservative clique
+// (binding clique); other metrics return only the value.
+func Explain(metric Metric, m conflict.Model, ps PathState) (Explanation, error) {
+	switch metric {
+	case MetricCliqueConstraint:
+		return explainCliqueConstraint(m, ps)
+	case MetricBottleneckNode:
+		return explainBottleneck(ps)
+	case MetricConservativeClique:
+		return explainConservative(m, ps)
+	default:
+		v, err := Estimate(metric, m, ps)
+		if err != nil {
+			return Explanation{}, err
+		}
+		return Explanation{Value: v, BindingHop: -1}, nil
+	}
+}
+
+func explainCliqueConstraint(m conflict.Model, ps PathState) (Explanation, error) {
+	cliques, err := localCliques(m, ps)
+	if err != nil {
+		return Explanation{}, err
+	}
+	out := Explanation{Value: math.Inf(1), BindingHop: -1}
+	for _, c := range cliques {
+		t := c.UnitTransmissionTime()
+		if t <= 0 {
+			continue
+		}
+		if v := 1 / t; v < out.Value {
+			out.Value = v
+			out.BindingClique = c
+		}
+	}
+	return out, nil
+}
+
+func explainBottleneck(ps PathState) (Explanation, error) {
+	if err := ps.Validate(); err != nil {
+		return Explanation{}, err
+	}
+	out := Explanation{Value: math.Inf(1), BindingHop: -1}
+	for i := range ps.Path {
+		if v := ps.Idle[i] * float64(ps.Rates[i]); v < out.Value {
+			out.Value = v
+			out.BindingHop = i
+		}
+	}
+	return out, nil
+}
+
+func explainConservative(m conflict.Model, ps PathState) (Explanation, error) {
+	cliques, err := localCliques(m, ps)
+	if err != nil {
+		return Explanation{}, err
+	}
+	idx := indexOf(ps)
+	out := Explanation{Value: math.Inf(1), BindingHop: -1}
+	for _, c := range cliques {
+		if v := conservativeCliqueValue(c, idx, ps); v < out.Value {
+			out.Value = v
+			out.BindingClique = c
+		}
+	}
+	return out, nil
+}
+
+// conservativeCliqueValue evaluates Eq. 13 on one clique: idle ratios
+// sorted ascending, f <= min_i lambda_i / sum_{j<=i} 1/r_j.
+func conservativeCliqueValue(c clique.Clique, idx map[topology.LinkID]int, ps PathState) float64 {
+	type hop struct {
+		idle float64
+		rate radio.Rate
+	}
+	hops := make([]hop, 0, c.Len())
+	for _, cp := range c.Couples {
+		i := idx[cp.Link]
+		hops = append(hops, hop{idle: ps.Idle[i], rate: ps.Rates[i]})
+	}
+	sort.Slice(hops, func(a, b int) bool { return hops[a].idle < hops[b].idle })
+	prefix := 0.0
+	best := math.Inf(1)
+	for _, h := range hops {
+		prefix += 1 / float64(h.rate)
+		if v := h.idle / prefix; v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,135 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/indepset"
+	"abw/internal/radio"
+	"abw/internal/schedule"
+	"abw/internal/topology"
+)
+
+// idlenessFixture is a 4-hop, 100m-spaced chain (every node within the
+// 237m default carrier-sense range of every transmitter).
+func idlenessFixture(t *testing.T) (*topology.Network, topology.Path, *conflict.Physical) {
+	t.Helper()
+	net, path, err := topology.Chain(radio.NewProfile80211a(), 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, path, conflict.NewPhysical(net)
+}
+
+func TestNodeIdleRatiosEmptySchedule(t *testing.T) {
+	net, _, _ := idlenessFixture(t)
+	idle := NodeIdleRatios(net, schedule.Schedule{})
+	for i, v := range idle {
+		if v != 1 {
+			t.Errorf("node %d idle = %g, want 1 with no traffic", i, v)
+		}
+	}
+}
+
+func TestNodeIdleRatiosSingleSlot(t *testing.T) {
+	net, path, _ := idlenessFixture(t)
+	sched := schedule.Schedule{Slots: []schedule.Slot{
+		{Share: 0.4, Set: indepset.NewSet(conflict.Couple{Link: path[0], Rate: 18})},
+	}}
+	idle := NodeIdleRatios(net, sched)
+	// All 5 nodes are within 237m CS range of node 0 (max distance 400m
+	// for node 4 — outside!). Node 4 at 400m does not hear node 0.
+	for i := 0; i <= 2; i++ {
+		if math.Abs(idle[i]-0.6) > 1e-12 {
+			t.Errorf("node %d idle = %g, want 0.6", i, idle[i])
+		}
+	}
+	if math.Abs(idle[4]-1.0) > 1e-12 {
+		t.Errorf("node 4 (400m from tx) idle = %g, want 1.0", idle[4])
+	}
+}
+
+func TestNodeIdleRatiosEmptySlotStaysIdle(t *testing.T) {
+	net, _, _ := idlenessFixture(t)
+	sched := schedule.Schedule{Slots: []schedule.Slot{{Share: 0.5, Set: indepset.NewSet()}}}
+	idle := NodeIdleRatios(net, sched)
+	for i, v := range idle {
+		if v != 1 {
+			t.Errorf("node %d idle = %g, want 1 (empty slot is idle air)", i, v)
+		}
+	}
+}
+
+func TestLinkIdleRatiosTakeMin(t *testing.T) {
+	net, path, _ := idlenessFixture(t)
+	nodeIdle := []float64{0.9, 0.2, 0.7, 0.8, 0.6}
+	idle, err := LinkIdleRatios(net, nodeIdle, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.2, 0.7, 0.6}
+	for i := range want {
+		if math.Abs(idle[i]-want[i]) > 1e-12 {
+			t.Errorf("hop %d idle = %g, want %g", i, idle[i], want[i])
+		}
+	}
+	if _, err := LinkIdleRatios(net, []float64{1}, path); err == nil {
+		t.Error("short idleness vector: expected error")
+	}
+	if _, err := LinkIdleRatios(net, nodeIdle, topology.Path{topology.LinkID(999)}); err == nil {
+		t.Error("bogus link: expected error")
+	}
+}
+
+func TestPathStateFromSchedule(t *testing.T) {
+	net, path, m := idlenessFixture(t)
+	sched := schedule.Schedule{Slots: []schedule.Slot{
+		{Share: 0.25, Set: indepset.NewSet(conflict.Couple{Link: path[0], Rate: 18})},
+	}}
+	ps, err := PathStateFromSchedule(net, m, sched, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Rates) != 4 {
+		t.Fatalf("rates = %v", ps.Rates)
+	}
+	for i, r := range ps.Rates {
+		if r != 18 { // 100m hops support 18 Mbps alone
+			t.Errorf("hop %d rate = %v, want 18", i, r)
+		}
+	}
+	for i, l := range ps.Idle {
+		if l < 0 || l > 1 {
+			t.Errorf("hop %d idle = %g outside [0,1]", i, l)
+		}
+	}
+	// Hops near the transmitter are busier.
+	if ps.Idle[0] > ps.Idle[3] {
+		t.Errorf("idle[0]=%g should be <= idle[3]=%g (hop 0 is at the transmitter)", ps.Idle[0], ps.Idle[3])
+	}
+	if _, err := PathStateFromSchedule(net, m, sched, nil); err == nil {
+		t.Error("empty path: expected error")
+	}
+}
+
+func TestLinkIdleFromScheduleOwnSlotBusy(t *testing.T) {
+	tb := conflict.NewTable()
+	tb.SetRates(0, 54)
+	tb.SetRates(1, 54)
+	// No conflicts between 0 and 1.
+	sched := schedule.Schedule{Slots: []schedule.Slot{
+		{Share: 0.3, Set: indepset.NewSet(conflict.Couple{Link: 0, Rate: 54})},
+		{Share: 0.2, Set: indepset.NewSet(conflict.Couple{Link: 1, Rate: 54})},
+	}}
+	// Link 0 is busy only during its own slot.
+	if got := LinkIdleFromSchedule(tb, sched, 0, 54); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("idle(link 0) = %g, want 0.7", got)
+	}
+	// A third link with no conflicts is idle except nothing: 1.0 minus
+	// nothing it hears — both slots invisible.
+	tb.SetRates(2, 54)
+	if got := LinkIdleFromSchedule(tb, sched, 2, 54); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("idle(link 2) = %g, want 1.0", got)
+	}
+}

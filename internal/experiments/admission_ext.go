@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abw/internal/core"
+	"abw/internal/estimate"
+	"abw/internal/lp"
+	"abw/internal/routing"
+)
+
+// EstimatorAdmission (E13) puts the Fig. 4 estimators to operational
+// use, which is what the paper proposes them for: admission control
+// without global scheduling knowledge. Each 2 Mbps flow is routed with
+// average-e2eD; the estimator decides admit/reject from carrier-sensed
+// idleness; the exact Eq. 6 model is the oracle. A false admit lets a
+// flow in that the network cannot actually carry; a false reject turns
+// away a flow that would have fit.
+func EstimatorAdmission() (*Table, error) {
+	net, m, reqs, err := Fig2Setup()
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		ID:     "E13",
+		Title:  "Extension: estimator-driven admission vs the exact oracle (2 Mbps flows)",
+		Header: []string{"estimator", "admitted", "false admits", "false rejects", "verdict"},
+	}
+	for _, metric := range estimate.AllMetrics() {
+		admittedCount := 0
+		falseAdmit := 0
+		falseReject := 0
+		var admitted []core.Flow
+		for _, req := range reqs {
+			idle, err := routing.BackgroundIdleness(net, m, admitted, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			path, err := routing.FindPath(net, m, routing.MetricAvgE2ED, idle, req.Src, req.Dst)
+			if err != nil {
+				continue // unroutable under current load: skip
+			}
+			sched, err := routing.BackgroundSchedule(m, admitted, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			ps, err := estimate.PathStateFromSchedule(net, m, sched, path)
+			if err != nil {
+				return nil, err
+			}
+			est, err := estimate.Estimate(metric, m, ps)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.AvailableBandwidth(m, admitted, path, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			truth := res.Status == lp.Optimal && res.Bandwidth+1e-9 >= req.Demand
+			decision := est+1e-9 >= req.Demand
+			switch {
+			case decision && !truth:
+				falseAdmit++
+			case !decision && truth:
+				falseReject++
+			}
+			// The network state evolves by the ORACLE's truth — flows
+			// that genuinely fit are carried (the estimator only gates
+			// them); this keeps every estimator judged against the same
+			// load sequence.
+			if truth {
+				admitted = append(admitted, core.Flow{Path: path, Demand: req.Demand})
+			}
+			if decision && truth {
+				admittedCount++
+			}
+		}
+		verdict := "safe but lossy"
+		if falseAdmit > 0 {
+			verdict = "UNSAFE (over-admits)"
+		} else if falseReject == 0 {
+			verdict = "matches oracle"
+		}
+		tbl.AddRow(metric.String(),
+			fmt.Sprintf("%d", admittedCount),
+			fmt.Sprintf("%d", falseAdmit),
+			fmt.Sprintf("%d", falseReject),
+			verdict)
+	}
+	tbl.AddNote("over-estimating metrics (clique constraint, bottleneck) admit flows the network cannot carry;")
+	tbl.AddNote("the conservative clique constraint trades a few false rejects for zero false admits")
+	return tbl, nil
+}

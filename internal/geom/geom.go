@@ -1,0 +1,117 @@
+// Package geom provides the 2-D geometry primitives used to place sensor
+// nodes and measure distances between them. All randomness is driven by
+// explicit sources so topologies are reproducible.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a location on the deployment plane, in meters.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Dist returns the Euclidean distance in meters between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point {
+	return Point{X: p.X + q.X, Y: p.Y + q.Y}
+}
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point {
+	return Point{X: p.X * k, Y: p.Y * k}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y)
+}
+
+// Rect is an axis-aligned deployment area.
+type Rect struct {
+	W float64 // width in meters (x extent)
+	H float64 // height in meters (y extent)
+}
+
+// Contains reports whether p lies inside r (inclusive of the boundary).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= r.W && p.Y >= 0 && p.Y <= r.H
+}
+
+// Area returns the area of r in square meters.
+func (r Rect) Area() float64 {
+	return r.W * r.H
+}
+
+// UniformPoints places n points uniformly at random inside r using rng.
+func UniformPoints(rng *rand.Rand, r Rect, n int) []Point {
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{X: rng.Float64() * r.W, Y: rng.Float64() * r.H})
+	}
+	return pts
+}
+
+// UniformPointsMinDist places n points uniformly inside r, rejecting
+// candidates closer than minDist to an already placed point. It gives up
+// and returns an error if maxTries successive rejections occur, which
+// indicates the area is too crowded for the requested spacing.
+func UniformPointsMinDist(rng *rand.Rand, r Rect, n int, minDist float64, maxTries int) ([]Point, error) {
+	pts := make([]Point, 0, n)
+	tries := 0
+	for len(pts) < n {
+		cand := Point{X: rng.Float64() * r.W, Y: rng.Float64() * r.H}
+		ok := true
+		for _, p := range pts {
+			if p.Dist(cand) < minDist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+			tries = 0
+			continue
+		}
+		tries++
+		if tries >= maxTries {
+			return nil, fmt.Errorf("geom: could not place %d points with min distance %.1fm after %d tries (placed %d)",
+				n, minDist, maxTries, len(pts))
+		}
+	}
+	return pts, nil
+}
+
+// GridPoints places points on a regular grid with the given spacing,
+// row-major from the origin, stopping after n points. It is useful for
+// deterministic chain and lattice test topologies.
+func GridPoints(n int, cols int, spacing float64) []Point {
+	if cols <= 0 {
+		cols = n
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		row := i / cols
+		col := i % cols
+		pts = append(pts, Point{X: float64(col) * spacing, Y: float64(row) * spacing})
+	}
+	return pts
+}
+
+// LinePoints places n points on a horizontal line with the given spacing,
+// starting at the origin. Chain topologies use this.
+func LinePoints(n int, spacing float64) []Point {
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{X: float64(i) * spacing})
+	}
+	return pts
+}

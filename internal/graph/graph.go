@@ -1,0 +1,215 @@
+// Package graph provides the routing-substrate algorithms used by the
+// QoS routing layer: Dijkstra shortest paths under pluggable additive
+// link weights, Yen's k-shortest loopless paths, and reachability
+// queries. It operates on any network exposing the topology.Network
+// adjacency surface.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"abw/internal/topology"
+)
+
+// Network is the adjacency surface the algorithms need; it is satisfied
+// by *topology.Network.
+type Network interface {
+	NumNodes() int
+	OutLinks(topology.NodeID) []topology.LinkID
+	Link(topology.LinkID) (topology.Link, error)
+}
+
+var _ Network = (*topology.Network)(nil)
+
+// Weight computes the additive cost of traversing a link. Return
+// math.Inf(1) to exclude the link from consideration.
+type Weight func(topology.Link) float64
+
+// HopWeight is the unit weight: shortest path = fewest hops.
+func HopWeight(topology.Link) float64 { return 1 }
+
+// ErrNoPath is returned when the destination is unreachable under the
+// given weight.
+var ErrNoPath = fmt.Errorf("graph: no path")
+
+type pqItem struct {
+	node topology.NodeID
+	dist float64
+	idx  int
+}
+
+type priorityQueue []*pqItem
+
+func (pq priorityQueue) Len() int           { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool { return pq[i].dist < pq[j].dist }
+func (pq priorityQueue) Swap(i, j int)      { pq[i], pq[j] = pq[j], pq[i]; pq[i].idx = i; pq[j].idx = j }
+func (pq *priorityQueue) Push(x interface{}) {
+	it := x.(*pqItem)
+	it.idx = len(*pq)
+	*pq = append(*pq, it)
+}
+func (pq *priorityQueue) Pop() interface{} {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+// ShortestPath returns a minimum-weight path from src to dst and its
+// total weight. It returns ErrNoPath if dst is unreachable.
+func ShortestPath(g Network, src, dst topology.NodeID, w Weight) (topology.Path, float64, error) {
+	return shortestPathConstrained(g, src, dst, w, nil, nil)
+}
+
+// shortestPathConstrained is Dijkstra with optional excluded links and
+// nodes (the spur machinery of Yen's algorithm). Excluded nodes may
+// still be used as src.
+func shortestPathConstrained(
+	g Network,
+	src, dst topology.NodeID,
+	w Weight,
+	excludedLinks map[topology.LinkID]bool,
+	excludedNodes map[topology.NodeID]bool,
+) (topology.Path, float64, error) {
+	n := g.NumNodes()
+	if int(src) >= n || src < 0 || int(dst) >= n || dst < 0 {
+		return nil, 0, fmt.Errorf("graph: node out of range (src=%d dst=%d n=%d)", src, dst, n)
+	}
+	if src == dst {
+		return nil, 0, fmt.Errorf("graph: src equals dst (%d)", src)
+	}
+
+	dist := make([]float64, n)
+	prev := make([]topology.LinkID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+
+	pq := priorityQueue{{node: src, dist: 0}}
+	heap.Init(&pq)
+	items := make(map[topology.NodeID]*pqItem, n)
+	items[src] = pq[0]
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(&pq).(*pqItem)
+		delete(items, cur.node)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == dst {
+			break
+		}
+		for _, lid := range g.OutLinks(cur.node) {
+			if excludedLinks[lid] {
+				continue
+			}
+			link, err := g.Link(lid)
+			if err != nil {
+				return nil, 0, fmt.Errorf("graph: resolving link %d: %w", lid, err)
+			}
+			if excludedNodes[link.Rx] || done[link.Rx] {
+				continue
+			}
+			lw := w(link)
+			if math.IsInf(lw, 1) || math.IsNaN(lw) {
+				continue
+			}
+			if lw < 0 {
+				return nil, 0, fmt.Errorf("graph: negative weight %g on link %d", lw, lid)
+			}
+			if nd := cur.dist + lw; nd < dist[link.Rx] {
+				dist[link.Rx] = nd
+				prev[link.Rx] = lid
+				if it, ok := items[link.Rx]; ok {
+					it.dist = nd
+					heap.Fix(&pq, it.idx)
+				} else {
+					it := &pqItem{node: link.Rx, dist: nd}
+					heap.Push(&pq, it)
+					items[link.Rx] = it
+				}
+			}
+		}
+	}
+
+	if math.IsInf(dist[dst], 1) {
+		return nil, 0, ErrNoPath
+	}
+	// Walk predecessors back to src.
+	var rev topology.Path
+	for at := dst; at != src; {
+		lid := prev[at]
+		link, err := g.Link(lid)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: resolving link %d: %w", lid, err)
+		}
+		rev = append(rev, lid)
+		at = link.Tx
+	}
+	path := make(topology.Path, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path, dist[dst], nil
+}
+
+// PathWeight sums w over the links of path.
+func PathWeight(g Network, path topology.Path, w Weight) (float64, error) {
+	total := 0.0
+	for _, lid := range path {
+		link, err := g.Link(lid)
+		if err != nil {
+			return 0, fmt.Errorf("graph: resolving link %d: %w", lid, err)
+		}
+		total += w(link)
+	}
+	return total, nil
+}
+
+// Reachable returns, for every node, whether it is reachable from src
+// via links of finite weight.
+func Reachable(g Network, src topology.NodeID, w Weight) []bool {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	if src < 0 || int(src) >= n {
+		return seen
+	}
+	seen[src] = true
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, lid := range g.OutLinks(cur) {
+			link, err := g.Link(lid)
+			if err != nil {
+				continue
+			}
+			if math.IsInf(w(link), 1) {
+				continue
+			}
+			if !seen[link.Rx] {
+				seen[link.Rx] = true
+				queue = append(queue, link.Rx)
+			}
+		}
+	}
+	return seen
+}
+
+// Connected reports whether every node is reachable from node 0.
+func Connected(g Network) bool {
+	for _, ok := range Reachable(g, 0, HopWeight) {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

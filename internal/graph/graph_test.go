@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"abw/internal/geom"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// grid builds a 3x3 grid network with 50m spacing:
+//
+//	0 1 2
+//	3 4 5
+//	6 7 8
+func grid(t *testing.T) *topology.Network {
+	t.Helper()
+	net, err := topology.New(radio.NewProfile80211a(), geom.GridPoints(9, 3, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func line(t *testing.T, n int, spacing float64) *topology.Network {
+	t.Helper()
+	net, err := topology.New(radio.NewProfile80211a(), geom.LinePoints(n, spacing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestShortestPathHops(t *testing.T) {
+	net := line(t, 5, 100) // 100m spacing: adjacent hops only (200m pairs out of range)
+	path, wgt, err := ShortestPath(net, 0, 4, HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wgt != 4 || len(path) != 4 {
+		t.Errorf("got weight %g, %d links; want 4 hops", wgt, len(path))
+	}
+	if err := net.ValidatePath(path); err != nil {
+		t.Errorf("invalid path: %v", err)
+	}
+}
+
+func TestShortestPathPrefersFewHopsViaLongLinks(t *testing.T) {
+	net := line(t, 5, 50) // 100m pairs reachable at 18, 150m at 6
+	path, wgt, err := ShortestPath(net, 0, 4, HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> 3 (150m, 6Mbps) -> 4 or 0 -> 2 -> 4 (two 100m hops): 2 hops.
+	if wgt != 2 {
+		t.Errorf("hop weight = %g, want 2; path %v", wgt, path)
+	}
+}
+
+func TestShortestPathTransmissionDelay(t *testing.T) {
+	net := line(t, 5, 50)
+	// e2eTD weight: 1/rate. Four 54Mbps hops cost 4/54 = 0.074; two
+	// 18Mbps hops cost 2/18 = 0.111; 6Mbps direct-ish hops cost more.
+	w := func(l topology.Link) float64 { return 1 / float64(l.MaxRate) }
+	path, wgt, err := ShortestPath(net, 0, 4, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Errorf("e2eTD should pick the four 54Mbps hops, got %d links (weight %g)", len(path), wgt)
+	}
+	if math.Abs(wgt-4.0/54) > 1e-12 {
+		t.Errorf("weight = %g, want %g", wgt, 4.0/54)
+	}
+}
+
+func TestShortestPathNoPath(t *testing.T) {
+	// Two clusters far apart.
+	net, err := topology.New(radio.NewProfile80211a(), []geom.Point{{X: 0}, {X: 50}, {X: 1000}, {X: 1050}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ShortestPath(net, 0, 3, HopWeight); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestShortestPathValidation(t *testing.T) {
+	net := line(t, 3, 50)
+	if _, _, err := ShortestPath(net, 0, 0, HopWeight); err == nil {
+		t.Error("src==dst: expected error")
+	}
+	if _, _, err := ShortestPath(net, 0, 99, HopWeight); err == nil {
+		t.Error("dst out of range: expected error")
+	}
+	neg := func(topology.Link) float64 { return -1 }
+	if _, _, err := ShortestPath(net, 0, 2, neg); err == nil {
+		t.Error("negative weight: expected error")
+	}
+}
+
+func TestInfiniteWeightExcludesLink(t *testing.T) {
+	net := line(t, 3, 100)
+	l01, _ := net.LinkBetween(0, 1)
+	w := func(l topology.Link) float64 {
+		if l.ID == l01 {
+			return math.Inf(1)
+		}
+		return 1
+	}
+	if _, _, err := ShortestPath(net, 0, 2, w); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath (only route uses excluded link)", err)
+	}
+}
+
+func TestPathWeight(t *testing.T) {
+	net := line(t, 4, 100)
+	path, _, err := ShortestPath(net, 0, 3, HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PathWeight(net, path, HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("PathWeight = %g, want 3", got)
+	}
+	if _, err := PathWeight(net, topology.Path{topology.LinkID(999)}, HopWeight); err == nil {
+		t.Error("bogus link: expected error")
+	}
+}
+
+func TestReachableAndConnected(t *testing.T) {
+	net := line(t, 4, 100)
+	seen := Reachable(net, 0, HopWeight)
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("node %d unreachable in a line", i)
+		}
+	}
+	if !Connected(net) {
+		t.Error("line should be connected")
+	}
+	split, err := topology.New(radio.NewProfile80211a(), []geom.Point{{X: 0}, {X: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Connected(split) {
+		t.Error("split network should not be connected")
+	}
+	if got := Reachable(net, topology.NodeID(-1), HopWeight); got[0] {
+		t.Error("Reachable from invalid src should mark nothing")
+	}
+}
+
+func TestKShortestPathsGrid(t *testing.T) {
+	net := grid(t)
+	paths, err := KShortestPaths(net, 0, 8, HopWeight, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("grid should have several loopless paths, got %d", len(paths))
+	}
+	for i, rp := range paths {
+		if err := net.ValidatePath(rp.Path); err != nil {
+			t.Errorf("path %d invalid: %v", i, err)
+		}
+		if i > 0 && rp.Weight < paths[i-1].Weight-1e-12 {
+			t.Errorf("paths out of order: %g after %g", rp.Weight, paths[i-1].Weight)
+		}
+	}
+	// All returned paths must be distinct.
+	for i := range paths {
+		for j := i + 1; j < len(paths); j++ {
+			if pathsEqual(paths[i].Path, paths[j].Path) {
+				t.Errorf("paths %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestKShortestPathsLoopless(t *testing.T) {
+	net := grid(t)
+	paths, err := KShortestPaths(net, 0, 8, HopWeight, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rp := range paths {
+		nodes, err := net.PathNodes(rp.Path)
+		if err != nil {
+			t.Fatalf("path %d: %v", i, err)
+		}
+		seen := make(map[topology.NodeID]bool)
+		for _, n := range nodes {
+			if seen[n] {
+				t.Errorf("path %d revisits node %d", i, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestKShortestPathsFirstIsShortest(t *testing.T) {
+	net := grid(t)
+	single, w1, err := ShortestPath(net, 0, 8, HopWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := KShortestPaths(net, 0, 8, HopWeight, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi[0].Weight != w1 {
+		t.Errorf("first k-shortest weight %g != shortest %g", multi[0].Weight, w1)
+	}
+	if len(single) != len(multi[0].Path) {
+		t.Errorf("first k-shortest has %d links, shortest has %d", len(multi[0].Path), len(single))
+	}
+}
+
+func TestKShortestPathsErrors(t *testing.T) {
+	net := line(t, 3, 100)
+	if _, err := KShortestPaths(net, 0, 2, HopWeight, 0); err == nil {
+		t.Error("k=0: expected error")
+	}
+	split, err := topology.New(radio.NewProfile80211a(), []geom.Point{{X: 0}, {X: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KShortestPaths(split, 0, 1, HopWeight, 2); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestKShortestExhaustsLine(t *testing.T) {
+	// A 2-node network has exactly one loopless path.
+	net := line(t, 2, 50)
+	paths, err := KShortestPaths(net, 0, 1, HopWeight, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("got %d paths, want exactly 1", len(paths))
+	}
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"abw/internal/geom"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// allSimplePaths enumerates every loopless path src->dst by DFS —
+// exponential, fine for tiny graphs — returning their weights sorted
+// ascending.
+func allSimplePaths(t *testing.T, g Network, src, dst topology.NodeID, w Weight) []float64 {
+	t.Helper()
+	var weights []float64
+	visited := map[topology.NodeID]bool{src: true}
+	var dfs func(at topology.NodeID, cost float64)
+	dfs = func(at topology.NodeID, cost float64) {
+		if at == dst {
+			weights = append(weights, cost)
+			return
+		}
+		for _, lid := range g.OutLinks(at) {
+			link, err := g.Link(lid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lw := w(link)
+			if math.IsInf(lw, 1) || visited[link.Rx] {
+				continue
+			}
+			visited[link.Rx] = true
+			dfs(link.Rx, cost+lw)
+			visited[link.Rx] = false
+		}
+	}
+	dfs(src, 0)
+	sort.Float64s(weights)
+	return weights
+}
+
+// TestYenMatchesBruteForce checks, on small random geometric graphs,
+// that KShortestPaths returns exactly the k cheapest loopless path
+// weights that exhaustive enumeration finds.
+func TestYenMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := topology.New(radio.NewProfile80211a(),
+			geom.UniformPoints(rng, geom.Rect{W: 250, H: 250}, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := func(l topology.Link) float64 { return 1 / float64(l.MaxRate) }
+		src, dst := topology.NodeID(0), topology.NodeID(5)
+		want := allSimplePaths(t, net, src, dst, w)
+		if len(want) == 0 {
+			continue // disconnected draw
+		}
+		k := len(want)
+		if k > 10 {
+			k = 10
+		}
+		got, err := KShortestPaths(net, src, dst, w, k)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(got) != k {
+			t.Errorf("seed %d: Yen returned %d paths, brute force has %d (asked %d)",
+				seed, len(got), len(want), k)
+			continue
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i].Weight-want[i]) > 1e-9 {
+				t.Errorf("seed %d: path %d weight %.6f, brute force %.6f",
+					seed, i, got[i].Weight, want[i])
+			}
+		}
+	}
+}
+
+// TestYenExhaustive checks that asking for more paths than exist
+// returns them all, matching the brute-force count.
+func TestYenExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := topology.New(radio.NewProfile80211a(),
+		geom.UniformPoints(rng, geom.Rect{W: 200, H: 200}, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := topology.NodeID(0), topology.NodeID(4)
+	want := allSimplePaths(t, net, src, dst, HopWeight)
+	if len(want) == 0 {
+		t.Skip("disconnected draw")
+	}
+	got, err := KShortestPaths(net, src, dst, HopWeight, len(want)+25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("Yen found %d loopless paths, brute force %d", len(got), len(want))
+	}
+}
+
+// TestDijkstraMatchesBruteForce checks the single shortest path against
+// exhaustive enumeration on small random graphs.
+func TestDijkstraMatchesBruteForce(t *testing.T) {
+	for seed := int64(20); seed <= 32; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := topology.New(radio.NewProfile80211a(),
+			geom.UniformPoints(rng, geom.Rect{W: 250, H: 250}, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := func(l topology.Link) float64 { return 1 / float64(l.MaxRate) }
+		want := allSimplePaths(t, net, 0, 5, w)
+		_, got, err := ShortestPath(net, 0, 5, w)
+		if len(want) == 0 {
+			if err == nil {
+				t.Errorf("seed %d: Dijkstra found a path where none exists", seed)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("seed %d: Dijkstra failed on a connected pair: %v", seed, err)
+			continue
+		}
+		if math.Abs(got-want[0]) > 1e-9 {
+			t.Errorf("seed %d: Dijkstra %.6f != brute-force best %.6f", seed, got, want[0])
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package indepset
+
+import (
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/geom"
+	"abw/internal/radio"
+	"abw/internal/scenario"
+	"abw/internal/topology"
+)
+
+func BenchmarkEnumerateScenarioII(b *testing.B) {
+	s := scenario.NewScenarioII()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(s.Model, s.Links(), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEnumeratePhysical(b *testing.B, hops int) {
+	b.Helper()
+	net, path, err := topology.Chain(radio.NewProfile80211a(), hops, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := conflict.NewPhysical(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(m, path, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateChain4(b *testing.B) { benchEnumeratePhysical(b, 4) }
+func BenchmarkEnumerateChain8(b *testing.B) { benchEnumeratePhysical(b, 8) }
+
+// BenchmarkEnumerateMesh measures enumeration over all links of a small
+// random mesh — the worst case the Fig. 3 experiment hits per admission.
+func BenchmarkEnumerateMesh(b *testing.B) {
+	net, err := topology.New(radio.NewProfile80211a(),
+		geom.GridPoints(9, 3, 80))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := conflict.NewPhysical(net)
+	links := make([]topology.LinkID, 0, net.NumLinks())
+	for _, l := range net.Links() {
+		links = append(links, l.ID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(m, links, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

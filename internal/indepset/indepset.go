@@ -1,0 +1,303 @@
+// Package indepset enumerates the paper's rate-coupled independent sets
+// (Sec. 2.4): sets of (link, rate) couples that can all transmit
+// concurrently, together with the *maximal* ones that suffice for the
+// feasibility condition (Propositions 1-3). A maximal independent set
+// satisfies two conditions beyond feasibility:
+//
+//  1. rate-maximality — no single link's rate can be raised while the
+//     rest of the set keeps its rates; and
+//  2. link-maximality — no further link can be inserted at any positive
+//     rate without lowering some member's rate.
+//
+// Unlike single-rate networks, a maximal set's link set may be a strict
+// subset of another independent set's; the enumeration below preserves
+// those (the paper's Scenario II depends on them).
+package indepset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// Set is an independent set: couples sorted by link ID.
+type Set struct {
+	Couples []conflict.Couple
+}
+
+// NewSet builds a Set from couples, sorting them by link ID.
+func NewSet(couples ...conflict.Couple) Set {
+	cs := make([]conflict.Couple, len(couples))
+	copy(cs, couples)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Link < cs[j].Link })
+	return Set{Couples: cs}
+}
+
+// Rate returns the rate of the given link in the set, or 0 if the link
+// is not a member.
+func (s Set) Rate(link topology.LinkID) radio.Rate {
+	for _, c := range s.Couples {
+		if c.Link == link {
+			return c.Rate
+		}
+	}
+	return 0
+}
+
+// Links returns the member link IDs in ascending order.
+func (s Set) Links() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(s.Couples))
+	for _, c := range s.Couples {
+		out = append(out, c.Link)
+	}
+	return out
+}
+
+// Contains reports whether link is a member.
+func (s Set) Contains(link topology.LinkID) bool { return s.Rate(link) > 0 }
+
+// Len returns the number of couples.
+func (s Set) Len() int { return len(s.Couples) }
+
+// Key returns a canonical string identity for deduplication.
+func (s Set) Key() string {
+	var b strings.Builder
+	for i, c := range s.Couples {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d@%g", c.Link, float64(c.Rate))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (s Set) String() string {
+	parts := make([]string, 0, len(s.Couples))
+	for _, c := range s.Couples {
+		parts = append(parts, c.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// RateVector returns the set's throughput-rate vector aligned with the
+// given link universe (the R*_i of paper Eq. 4): entry j is the rate of
+// universe[j] in the set, or 0.
+func (s Set) RateVector(universe []topology.LinkID) []radio.Rate {
+	out := make([]radio.Rate, len(universe))
+	for j, l := range universe {
+		out[j] = s.Rate(l)
+	}
+	return out
+}
+
+// ErrLimit is returned when enumeration exceeds the configured set
+// limit; callers may treat partial enumerations as lower bounds
+// (paper Sec. 3.3) but Enumerate refuses to return silently truncated
+// results.
+var ErrLimit = fmt.Errorf("indepset: enumeration limit exceeded")
+
+// Options configure enumeration.
+type Options struct {
+	// Limit bounds the number of feasible sets explored; 0 means the
+	// default of 1<<20.
+	Limit int
+}
+
+func (o Options) limit() int {
+	if o.Limit <= 0 {
+		return 1 << 20
+	}
+	return o.Limit
+}
+
+// Enumerate returns every maximal independent set (with maximum
+// supported rate vectors) over the given links, in deterministic order.
+// The empty set is never returned; if no link can transmit at all the
+// result is empty.
+func Enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, error) {
+	sets, truncated, err := enumerate(m, links, opts)
+	if err != nil {
+		return nil, err
+	}
+	if truncated {
+		return nil, ErrLimit
+	}
+	return sets, nil
+}
+
+// EnumeratePartial is Enumerate with graceful degradation: when the
+// exploration limit trips, it returns the maximal sets found so far and
+// truncated = true instead of failing. A truncated result is still a
+// sound basis for the paper's Sec. 3.3 LOWER bounds (every returned set
+// is genuinely feasible and maximal); it must not be used where
+// completeness matters (exact Eq. 6 optima, upper bounds).
+func EnumeratePartial(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
+	return enumerate(m, links, opts)
+}
+
+func enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
+	universe := dedupSorted(links)
+	var all []Set
+	var err error
+	if pm, ok := m.(*conflict.Physical); ok {
+		all, err = enumeratePhysical(pm, universe, opts.limit())
+	} else {
+		all, err = enumerateGeneric(m, universe, opts.limit())
+	}
+	truncated := errors.Is(err, ErrLimit)
+	if err != nil && !truncated {
+		return nil, false, err
+	}
+	out := make([]Set, 0, len(all))
+	for _, s := range all {
+		if s.Len() == 0 {
+			continue
+		}
+		if IsMaximal(m, s, universe) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, truncated, nil
+}
+
+// IsMaximal reports whether s is a maximal independent set over the
+// given link universe: feasible, rate-maximal and link-maximal.
+func IsMaximal(m conflict.Model, s Set, universe []topology.LinkID) bool {
+	if s.Len() == 0 || !conflict.Feasible(m, s.Couples) {
+		return false
+	}
+	// Rate-maximality: raising any member's rate one step must break
+	// feasibility.
+	for i, c := range s.Couples {
+		for _, r := range m.Rates(c.Link) { // descending
+			if r <= c.Rate {
+				break
+			}
+			cand := make([]conflict.Couple, len(s.Couples))
+			copy(cand, s.Couples)
+			cand[i] = conflict.Couple{Link: c.Link, Rate: r}
+			if conflict.Feasible(m, cand) {
+				return false
+			}
+		}
+	}
+	// Link-maximality: no outside link can join at any positive rate
+	// with every member keeping its current rate.
+	member := make(map[topology.LinkID]bool, s.Len())
+	for _, c := range s.Couples {
+		member[c.Link] = true
+	}
+	for _, l := range universe {
+		if member[l] {
+			continue
+		}
+		for _, r := range m.Rates(l) {
+			cand := make([]conflict.Couple, 0, s.Len()+1)
+			cand = append(cand, s.Couples...)
+			cand = append(cand, conflict.Couple{Link: l, Rate: r})
+			if conflict.Feasible(m, cand) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// enumeratePhysical walks link subsets; under the physical model the
+// maximum supported rate vector is a function of membership, and
+// interference only grows with additions, so infeasible subsets prune
+// their supersets.
+func enumeratePhysical(m *conflict.Physical, universe []topology.LinkID, limit int) ([]Set, error) {
+	var out []Set
+	var members []topology.LinkID
+	var rec func(start int) error
+	rec = func(start int) error {
+		if len(members) > 0 {
+			rates, ok := m.MaxRateVector(members)
+			if !ok {
+				return nil // some member silenced: prune subtree
+			}
+			couples := make([]conflict.Couple, len(members))
+			for i, l := range members {
+				couples[i] = conflict.Couple{Link: l, Rate: rates[i]}
+			}
+			out = append(out, NewSet(couples...))
+			if len(out) > limit {
+				return ErrLimit
+			}
+		}
+		for i := start; i < len(universe); i++ {
+			members = append(members, universe[i])
+			err := rec(i + 1)
+			members = members[:len(members)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// enumerateGeneric walks (link, rate) couple assignments in link order.
+// It requires the model's feasibility to be downward monotone in set
+// inclusion (true for the pairwise Table and Protocol models).
+func enumerateGeneric(m conflict.Model, universe []topology.LinkID, limit int) ([]Set, error) {
+	var out []Set
+	var cur []conflict.Couple
+	var rec func(idx int) error
+	rec = func(idx int) error {
+		if idx == len(universe) {
+			if len(cur) > 0 {
+				out = append(out, NewSet(cur...))
+				if len(out) > limit {
+					return ErrLimit
+				}
+			}
+			return nil
+		}
+		// Exclude universe[idx].
+		if err := rec(idx + 1); err != nil {
+			return err
+		}
+		// Include at each rate that keeps the partial set feasible.
+		for _, r := range m.Rates(universe[idx]) {
+			cur = append(cur, conflict.Couple{Link: universe[idx], Rate: r})
+			if conflict.Feasible(m, cur) {
+				if err := rec(idx + 1); err != nil {
+					cur = cur[:len(cur)-1]
+					return err
+				}
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func dedupSorted(links []topology.LinkID) []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(links))
+	seen := make(map[topology.LinkID]bool, len(links))
+	for _, l := range links {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,51 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a dense random bounded LP with n variables and m
+// constraints.
+func benchProblem(n, m int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(Maximize)
+	xs := make([]Var, n)
+	for j := 0; j < n; j++ {
+		xs[j] = p.AddVar("x", rng.Float64()*2)
+	}
+	for i := 0; i < m; i++ {
+		row := make(map[Var]float64, n)
+		for j := 0; j < n; j++ {
+			row[xs[j]] = rng.Float64()
+		}
+		if err := p.AddConstraint("c", row, LE, 1+rng.Float64()*9); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func benchSolve(b *testing.B, n, m int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := benchProblem(n, m, int64(i))
+		b.StartTimer()
+		sol, err := p.Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+func BenchmarkSolveSmall(b *testing.B)  { benchSolve(b, 10, 8) }
+func BenchmarkSolveMedium(b *testing.B) { benchSolve(b, 50, 30) }
+func BenchmarkSolveLarge(b *testing.B)  { benchSolve(b, 200, 60) }
+
+// BenchmarkSolveEq6Shape mirrors the availability LP's shape: many
+// columns (independent sets), few rows (links).
+func BenchmarkSolveEq6Shape(b *testing.B) { benchSolve(b, 400, 25) }

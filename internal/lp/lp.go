@@ -1,0 +1,445 @@
+// Package lp is a self-contained dense linear-programming solver used by
+// the availability model: a two-phase primal simplex over a full
+// tableau, with a small modeling layer (named variables, relational
+// constraints). The paper's LPs are tiny by LP standards — tens of rows,
+// up to a few thousand columns — so a dense tableau with Dantzig pricing
+// (falling back to Bland's rule to break cycling) is exact and fast.
+//
+// All variables are non-negative; encode free variables as differences
+// if ever needed. Infeasibility and unboundedness are reported through
+// Solution.Status, not errors: they are expected outcomes of the
+// admission-control questions this package answers.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+// Optimization senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	// LE is <=.
+	LE Rel = iota + 1
+	// GE is >=.
+	GE
+	// EQ is =.
+	EQ
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Var identifies a decision variable within one Problem.
+type Var int
+
+type constraint struct {
+	name  string
+	coefs map[Var]float64
+	rel   Rel
+	rhs   float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; call NewProblem.
+type Problem struct {
+	sense    Sense
+	varNames []string
+	obj      []float64
+	cons     []constraint
+}
+
+// NewProblem returns an empty problem with the given sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// AddVar adds a non-negative decision variable with the given objective
+// coefficient and returns its handle.
+func (p *Problem) AddVar(name string, objCoef float64) Var {
+	p.varNames = append(p.varNames, name)
+	p.obj = append(p.obj, objCoef)
+	return Var(len(p.obj) - 1)
+}
+
+// SetObjCoef replaces the objective coefficient of v.
+func (p *Problem) SetObjCoef(v Var, c float64) error {
+	if int(v) < 0 || int(v) >= len(p.obj) {
+		return fmt.Errorf("lp: variable %d out of range", v)
+	}
+	p.obj[v] = c
+	return nil
+}
+
+// VarName returns the name given to v at creation.
+func (p *Problem) VarName(v Var) string {
+	if int(v) < 0 || int(v) >= len(p.varNames) {
+		return fmt.Sprintf("x%d", int(v))
+	}
+	return p.varNames[v]
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddConstraint adds sum(coefs[v]*v) rel rhs. The coefficient map is
+// copied. Unknown variables are rejected.
+func (p *Problem) AddConstraint(name string, coefs map[Var]float64, rel Rel, rhs float64) error {
+	if rel != LE && rel != GE && rel != EQ {
+		return fmt.Errorf("lp: constraint %q has invalid relation %d", name, int(rel))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: constraint %q has non-finite rhs %g", name, rhs)
+	}
+	cp := make(map[Var]float64, len(coefs))
+	for v, c := range coefs {
+		if int(v) < 0 || int(v) >= len(p.obj) {
+			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, v)
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("lp: constraint %q has non-finite coefficient %g for %s", name, c, p.VarName(v))
+		}
+		if c != 0 {
+			cp[v] = c
+		}
+	}
+	p.cons = append(p.cons, constraint{name: name, coefs: cp, rel: rel, rhs: rhs})
+	return nil
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	// Status reports whether an optimum was found.
+	Status Status
+	// Objective is the optimal objective value in the problem's own
+	// sense; meaningful only when Status is Optimal.
+	Objective float64
+	// X holds the variable values; meaningful only when Status is
+	// Optimal.
+	X []float64
+}
+
+// Value returns the optimal value of v (0 for out-of-range handles).
+func (s *Solution) Value(v Var) float64 {
+	if s == nil || int(v) < 0 || int(v) >= len(s.X) {
+		return 0
+	}
+	return s.X[v]
+}
+
+// Tolerances and iteration limits of the simplex loop.
+const (
+	pivotTol    = 1e-9
+	feasTol     = 1e-7
+	blandAfter  = 5000
+	maxPivots   = 200000
+	reducedCost = 1e-9
+)
+
+// Solve runs two-phase primal simplex. It returns an error only on
+// malformed problems or on an internal failure to converge; infeasible
+// and unbounded programs come back as Solutions with the matching
+// Status.
+func (p *Problem) Solve() (*Solution, error) {
+	if p.sense != Minimize && p.sense != Maximize {
+		return nil, fmt.Errorf("lp: invalid sense %d", int(p.sense))
+	}
+	if len(p.obj) == 0 {
+		return nil, fmt.Errorf("lp: no variables")
+	}
+
+	n := len(p.obj)
+	m := len(p.cons)
+
+	// Count auxiliary columns.
+	nSlack := 0
+	nArt := 0
+	for _, c := range p.cons {
+		rhs, rel := c.rhs, c.rel
+		if rhs < 0 { // normalized below: row negation flips the relation
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+
+	// Dense tableau rows plus rhs column.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	isArt := make([]bool, total)
+
+	slackCol := n
+	artCol := n + nSlack
+	for i, c := range p.cons {
+		row := make([]float64, total+1)
+		sign := 1.0
+		rel := c.rel
+		if c.rhs < 0 {
+			sign = -1
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		for v, coef := range c.coefs {
+			row[v] = sign * coef
+		}
+		row[total] = sign * c.rhs
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			isArt[artCol] = true
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			isArt[artCol] = true
+			basis[i] = artCol
+			artCol++
+		}
+		t[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		c1 := make([]float64, total)
+		for j := range c1 {
+			if isArt[j] {
+				c1[j] = 1
+			}
+		}
+		status, err := simplex(t, basis, c1, nil)
+		if err != nil {
+			return nil, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if status == Unbounded {
+			return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		// Phase-1 objective value.
+		p1 := 0.0
+		for i, b := range basis {
+			if isArt[b] {
+				p1 += t[i][total]
+			}
+		}
+		if p1 > feasTol {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any remaining (degenerate) artificials out of the basis.
+		for i, b := range basis {
+			if !isArt[b] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < total; j++ {
+				if isArt[j] {
+					continue
+				}
+				if math.Abs(t[i][j]) > pivotTol {
+					pivot(t, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: the artificial stays basic at zero; it
+				// is harmless because artificial columns are barred from
+				// entering in phase 2.
+				t[i][total] = 0
+			}
+		}
+	}
+
+	// Phase 2: original objective (as minimization).
+	c2 := make([]float64, total)
+	for j := 0; j < n; j++ {
+		if p.sense == Maximize {
+			c2[j] = -p.obj[j]
+		} else {
+			c2[j] = p.obj[j]
+		}
+	}
+	status, err := simplex(t, basis, c2, isArt)
+	if err != nil {
+		return nil, fmt.Errorf("lp: phase 2: %w", err)
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+}
+
+// simplex runs the primal simplex loop on the tableau, minimizing cost
+// c. Columns with barred[j] true may not enter the basis (artificials
+// in phase 2). It returns Optimal or Unbounded.
+func simplex(t [][]float64, basis []int, c []float64, barred []bool) (Status, error) {
+	m := len(t)
+	if m == 0 {
+		// With no rows, any variable with negative cost increases without
+		// bound.
+		for j := range c {
+			if (barred == nil || !barred[j]) && c[j] < -reducedCost {
+				return Unbounded, nil
+			}
+		}
+		return Optimal, nil
+	}
+	total := len(c)
+	rhs := total
+
+	for iter := 0; iter < maxPivots; iter++ {
+		// Reduced costs: r_j = c_j - c_B . B^-1 A_j. The tableau rows
+		// already are B^-1 A, so r_j = c_j - sum_i c[basis[i]] * t[i][j].
+		entering := -1
+		best := -reducedCost
+		useBland := iter >= blandAfter
+		for j := 0; j < total; j++ {
+			if barred != nil && barred[j] {
+				continue
+			}
+			r := c[j]
+			for i := 0; i < m; i++ {
+				if cb := c[basis[i]]; cb != 0 {
+					r -= cb * t[i][j]
+				}
+			}
+			if r < -reducedCost {
+				if useBland {
+					entering = j
+					break
+				}
+				if r < best {
+					best = r
+					entering = j
+				}
+			}
+		}
+		if entering < 0 {
+			return Optimal, nil
+		}
+
+		// Ratio test.
+		leaving := -1
+		minRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][entering]
+			if a > pivotTol {
+				ratio := t[i][rhs] / a
+				if ratio < minRatio-pivotTol ||
+					(ratio < minRatio+pivotTol && (leaving < 0 || basis[i] < basis[leaving])) {
+					minRatio = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving < 0 {
+			return Unbounded, nil
+		}
+		pivot(t, basis, leaving, entering)
+	}
+	return 0, fmt.Errorf("simplex did not converge within %d pivots", maxPivots)
+}
+
+// pivot performs a Gauss-Jordan pivot on t[row][col] and updates the
+// basis.
+func pivot(t [][]float64, basis []int, row, col int) {
+	pr := t[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // clean residual error
+	}
+	basis[row] = col
+}

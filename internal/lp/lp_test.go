@@ -1,0 +1,365 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOrFatal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestMaximizeSimple(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, obj=36.
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 3)
+	y := p.AddVar("y", 5)
+	mustCons(t, p, "c1", map[Var]float64{x: 1}, LE, 4)
+	mustCons(t, p, "c2", map[Var]float64{y: 2}, LE, 12)
+	mustCons(t, p, "c3", map[Var]float64{x: 3, y: 2}, LE, 18)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-36) > 1e-9 {
+		t.Errorf("objective = %g, want 36", sol.Objective)
+	}
+	if math.Abs(sol.Value(x)-2) > 1e-9 || math.Abs(sol.Value(y)-6) > 1e-9 {
+		t.Errorf("x=%g y=%g, want 2, 6", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2 => x=10? obj: put all weight
+	// on x: x=10,y=0 -> 20; but x>=2 anyway. Optimal 20.
+	p := NewProblem(Minimize)
+	x := p.AddVar("x", 2)
+	y := p.AddVar("y", 3)
+	mustCons(t, p, "sum", map[Var]float64{x: 1, y: 1}, GE, 10)
+	mustCons(t, p, "xmin", map[Var]float64{x: 1}, GE, 2)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-20) > 1e-9 {
+		t.Errorf("status=%v obj=%g, want optimal 20", sol.Status, sol.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x + y s.t. x + y = 5, x <= 3 -> obj 5.
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	mustCons(t, p, "eq", map[Var]float64{x: 1, y: 1}, EQ, 5)
+	mustCons(t, p, "cap", map[Var]float64{x: 1}, LE, 3)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-9 {
+		t.Errorf("status=%v obj=%g, want optimal 5", sol.Status, sol.Objective)
+	}
+	if got := sol.Value(x) + sol.Value(y); math.Abs(got-5) > 1e-9 {
+		t.Errorf("x+y = %g, want exactly 5", got)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	mustCons(t, p, "lo", map[Var]float64{x: 1}, GE, 5)
+	mustCons(t, p, "hi", map[Var]float64{x: 1}, LE, 3)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	mustCons(t, p, "a", map[Var]float64{x: 1, y: 1}, EQ, 4)
+	mustCons(t, p, "b", map[Var]float64{x: 1, y: 1}, EQ, 6)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 0)
+	mustCons(t, p, "c", map[Var]float64{y: 1}, LE, 1)
+	_ = x
+	sol := solveOrFatal(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2 is y - x >= 2. max x s.t. x - y <= -2, y <= 5 -> x=3.
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 0)
+	mustCons(t, p, "neg", map[Var]float64{x: 1, y: -1}, LE, -2)
+	mustCons(t, p, "cap", map[Var]float64{y: 1}, LE, 5)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-3) > 1e-9 {
+		t.Errorf("status=%v obj=%g, want optimal 3", sol.Status, sol.Objective)
+	}
+}
+
+func TestNegativeRHSGE(t *testing.T) {
+	// -x >= -4  <=>  x <= 4. max x -> 4.
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	mustCons(t, p, "c", map[Var]float64{x: -1}, GE, -4)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-4) > 1e-9 {
+		t.Errorf("status=%v obj=%g, want optimal 4", sol.Status, sol.Objective)
+	}
+}
+
+func TestDegenerateBeale(t *testing.T) {
+	// Beale's cycling example; must terminate via Bland fallback.
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7
+	// s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+	//      0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+	//      x6 <= 1
+	// Optimum: -0.05.
+	p := NewProblem(Minimize)
+	x4 := p.AddVar("x4", -0.75)
+	x5 := p.AddVar("x5", 150)
+	x6 := p.AddVar("x6", -0.02)
+	x7 := p.AddVar("x7", 6)
+	mustCons(t, p, "r1", map[Var]float64{x4: 0.25, x5: -60, x6: -0.04, x7: 9}, LE, 0)
+	mustCons(t, p, "r2", map[Var]float64{x4: 0.5, x5: -90, x6: -0.02, x7: 3}, LE, 0)
+	mustCons(t, p, "r3", map[Var]float64{x6: 1}, LE, 1)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-(-0.05)) > 1e-9 {
+		t.Errorf("status=%v obj=%g, want optimal -0.05", sol.Status, sol.Objective)
+	}
+}
+
+func TestZeroConstraints(t *testing.T) {
+	// No constraints: max is unbounded, min is 0 at origin.
+	pMax := NewProblem(Maximize)
+	pMax.AddVar("x", 1)
+	sol := solveOrFatal(t, pMax)
+	if sol.Status != Unbounded {
+		t.Errorf("max no constraints: status = %v, want unbounded", sol.Status)
+	}
+	pMin := NewProblem(Minimize)
+	x := pMin.AddVar("x", 1)
+	sol = solveOrFatal(t, pMin)
+	if sol.Status != Optimal || sol.Value(x) != 0 {
+		t.Errorf("min no constraints: status=%v x=%g, want optimal 0", sol.Status, sol.Value(x))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := NewProblem(Maximize)
+	if _, err := p.Solve(); err == nil {
+		t.Error("no variables: expected error")
+	}
+	x := p.AddVar("x", 1)
+	if err := p.AddConstraint("bad-var", map[Var]float64{Var(99): 1}, LE, 1); err == nil {
+		t.Error("unknown variable: expected error")
+	}
+	if err := p.AddConstraint("bad-rel", map[Var]float64{x: 1}, Rel(0), 1); err == nil {
+		t.Error("invalid relation: expected error")
+	}
+	if err := p.AddConstraint("nan-rhs", map[Var]float64{x: 1}, LE, math.NaN()); err == nil {
+		t.Error("NaN rhs: expected error")
+	}
+	if err := p.AddConstraint("inf-coef", map[Var]float64{x: math.Inf(1)}, LE, 1); err == nil {
+		t.Error("Inf coefficient: expected error")
+	}
+	if err := p.SetObjCoef(Var(99), 1); err == nil {
+		t.Error("SetObjCoef out of range: expected error")
+	}
+	bad := &Problem{}
+	bad.AddVar("x", 1)
+	if _, err := bad.Solve(); err == nil {
+		t.Error("zero-value sense: expected error")
+	}
+}
+
+func TestVarName(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("flow", 1)
+	if p.VarName(x) != "flow" {
+		t.Errorf("VarName = %q", p.VarName(x))
+	}
+	if p.VarName(Var(42)) != "x42" {
+		t.Errorf("VarName(out of range) = %q", p.VarName(Var(42)))
+	}
+}
+
+func TestSetObjCoef(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0)
+	mustCons(t, p, "cap", map[Var]float64{x: 1}, LE, 7)
+	if err := p.SetObjCoef(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrFatal(t, p)
+	if math.Abs(sol.Objective-14) > 1e-9 {
+		t.Errorf("objective = %g, want 14", sol.Objective)
+	}
+}
+
+func TestStatusAndRelStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Rel strings wrong")
+	}
+	if Status(9).String() != "Status(9)" || Rel(9).String() != "Rel(9)" {
+		t.Error("unknown enum strings wrong")
+	}
+}
+
+// TestRandomBoundedLPs generates random LPs with a guaranteed-feasible
+// bounded region (box + random extra constraints satisfied by a known
+// point) and checks that the returned optimum is feasible and at least
+// as good as the known point and a cloud of random feasible points.
+func TestRandomBoundedLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		p := NewProblem(Maximize)
+		obj := make([]float64, n)
+		vars := make([]Var, n)
+		for j := 0; j < n; j++ {
+			obj[j] = rng.Float64()*4 - 1 // mostly positive
+			vars[j] = p.AddVar("x", obj[j])
+		}
+		// Box: x_j <= 10 keeps everything bounded.
+		for j := 0; j < n; j++ {
+			mustCons(t, p, "box", map[Var]float64{vars[j]: 1}, LE, 10)
+		}
+		// A known interior point.
+		point := make([]float64, n)
+		for j := range point {
+			point[j] = rng.Float64() * 5
+		}
+		// Random extra constraints that the known point satisfies.
+		type row struct {
+			coefs map[Var]float64
+			rel   Rel
+			rhs   float64
+		}
+		var rows []row
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			coefs := make(map[Var]float64, n)
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				c := rng.Float64()*2 - 0.5
+				coefs[vars[j]] = c
+				lhs += c * point[j]
+			}
+			slackAmt := rng.Float64() * 3
+			rel := LE
+			rhs := lhs + slackAmt
+			if rng.Intn(2) == 0 {
+				rel = GE
+				rhs = lhs - slackAmt
+			}
+			mustCons(t, p, "extra", coefs, rel, rhs)
+			rows = append(rows, row{coefs: coefs, rel: rel, rhs: rhs})
+		}
+		sol := solveOrFatal(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v for a feasible bounded LP", trial, sol.Status)
+		}
+		// Solution must satisfy every constraint.
+		for j := 0; j < n; j++ {
+			x := sol.Value(vars[j])
+			if x < -1e-7 || x > 10+1e-7 {
+				t.Errorf("trial %d: x%d = %g outside [0,10]", trial, j, x)
+			}
+		}
+		for ri, r := range rows {
+			lhs := 0.0
+			for v, c := range r.coefs {
+				lhs += c * sol.Value(v)
+			}
+			switch r.rel {
+			case LE:
+				if lhs > r.rhs+1e-6 {
+					t.Errorf("trial %d: row %d violated: %g > %g", trial, ri, lhs, r.rhs)
+				}
+			case GE:
+				if lhs < r.rhs-1e-6 {
+					t.Errorf("trial %d: row %d violated: %g < %g", trial, ri, lhs, r.rhs)
+				}
+			}
+		}
+		// Optimality vs the known point.
+		known := 0.0
+		for j := 0; j < n; j++ {
+			known += obj[j] * point[j]
+		}
+		if sol.Objective < known-1e-6 {
+			t.Errorf("trial %d: objective %g worse than known feasible %g", trial, sol.Objective, known)
+		}
+	}
+}
+
+func mustCons(t *testing.T, p *Problem, name string, coefs map[Var]float64, rel Rel, rhs float64) {
+	t.Helper()
+	if err := p.AddConstraint(name, coefs, rel, rhs); err != nil {
+		t.Fatalf("AddConstraint(%s): %v", name, err)
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Linearly dependent but consistent equalities exercise the
+	// redundant-row handling after phase 1 (an artificial stays basic at
+	// zero and must not corrupt phase 2).
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	mustCons(t, p, "eq1", map[Var]float64{x: 1, y: 1}, EQ, 6)
+	mustCons(t, p, "eq2", map[Var]float64{x: 2, y: 2}, EQ, 12) // 2x the first
+	mustCons(t, p, "cap", map[Var]float64{x: 1}, LE, 4)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-6) > 1e-9 {
+		t.Errorf("status=%v obj=%g, want optimal 6", sol.Status, sol.Objective)
+	}
+	if got := sol.Value(x) + sol.Value(y); math.Abs(got-6) > 1e-9 {
+		t.Errorf("x+y = %g, want 6", got)
+	}
+}
+
+func TestDuplicateConstraints(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	for i := 0; i < 5; i++ {
+		mustCons(t, p, "dup", map[Var]float64{x: 1}, LE, 3)
+	}
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-3) > 1e-9 {
+		t.Errorf("status=%v obj=%g, want optimal 3", sol.Status, sol.Objective)
+	}
+}
+
+func TestZeroCoefficientDropped(t *testing.T) {
+	// Zero coefficients are pruned at AddConstraint; the row must behave
+	// as if the variable were absent.
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	mustCons(t, p, "c", map[Var]float64{x: 1, y: 0}, LE, 2)
+	mustCons(t, p, "cy", map[Var]float64{y: 1}, LE, 5)
+	sol := solveOrFatal(t, p)
+	if math.Abs(sol.Objective-7) > 1e-9 {
+		t.Errorf("obj = %g, want 7 (y unconstrained by the zero-coef row)", sol.Objective)
+	}
+}

@@ -1,0 +1,242 @@
+// Package netjson serializes networks, flows and availability queries
+// as JSON for the command-line tools: cmd/abwlp consumes a Spec and
+// emits an Answer, so the whole model is scriptable without writing Go.
+package netjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"abw/internal/conflict"
+	"abw/internal/core"
+	"abw/internal/estimate"
+	"abw/internal/geom"
+	"abw/internal/lp"
+	"abw/internal/radio"
+	"abw/internal/routing"
+	"abw/internal/topology"
+)
+
+// NodeSpec is one node position in meters.
+type NodeSpec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// FlowSpec is a background flow: a node path and its demand in Mbps.
+type FlowSpec struct {
+	Path   []int   `json:"path"`
+	Demand float64 `json:"demand"`
+}
+
+// QuerySpec asks for the available bandwidth of a path, given either
+// explicitly (node IDs) or as endpoints plus a routing metric.
+type QuerySpec struct {
+	Path   []int  `json:"path,omitempty"`
+	Src    *int   `json:"src,omitempty"`
+	Dst    *int   `json:"dst,omitempty"`
+	Metric string `json:"metric,omitempty"` // "hop count", "e2eTD", "average-e2eD"
+}
+
+// Spec is the abwlp input document.
+type Spec struct {
+	Nodes []NodeSpec `json:"nodes"`
+	// CSRangeFactor optionally overrides the carrier-sense range factor.
+	CSRangeFactor float64    `json:"csRangeFactor,omitempty"`
+	Background    []FlowSpec `json:"background,omitempty"`
+	Query         QuerySpec  `json:"query"`
+}
+
+// SlotAnswer is one schedule slot of the answer.
+type SlotAnswer struct {
+	Share   float64           `json:"share"`
+	Couples map[string]string `json:"couples"` // "L3" -> "54Mbps"
+}
+
+// Answer is the abwlp output document.
+type Answer struct {
+	Feasible  bool               `json:"feasible"`
+	Bandwidth float64            `json:"bandwidthMbps"`
+	PathNodes []int              `json:"pathNodes"`
+	PathLinks []int              `json:"pathLinks"`
+	Schedule  []SlotAnswer       `json:"schedule,omitempty"`
+	Estimates map[string]float64 `json:"estimates,omitempty"`
+}
+
+// ParseSpec decodes a Spec from JSON.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("netjson: decoding spec: %w", err)
+	}
+	return &s, nil
+}
+
+// BuildNetwork materializes the spec's topology under the 802.11a
+// profile.
+func (s *Spec) BuildNetwork() (*topology.Network, error) {
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("netjson: spec has no nodes")
+	}
+	pts := make([]geom.Point, 0, len(s.Nodes))
+	for _, n := range s.Nodes {
+		pts = append(pts, geom.Point{X: n.X, Y: n.Y})
+	}
+	var opts []radio.Option
+	if s.CSRangeFactor > 0 {
+		opts = append(opts, radio.WithCSRangeFactor(s.CSRangeFactor))
+	}
+	net, err := topology.New(radio.NewProfile80211a(opts...), pts)
+	if err != nil {
+		return nil, fmt.Errorf("netjson: %w", err)
+	}
+	return net, nil
+}
+
+func (s *Spec) backgroundFlows(net *topology.Network) ([]core.Flow, error) {
+	flows := make([]core.Flow, 0, len(s.Background))
+	for i, f := range s.Background {
+		path, err := nodePath(net, f.Path)
+		if err != nil {
+			return nil, fmt.Errorf("netjson: background flow %d: %w", i, err)
+		}
+		if f.Demand <= 0 {
+			return nil, fmt.Errorf("netjson: background flow %d has demand %g", i, f.Demand)
+		}
+		flows = append(flows, core.Flow{Path: path, Demand: f.Demand})
+	}
+	return flows, nil
+}
+
+func parseMetric(name string) (routing.Metric, error) {
+	for _, m := range routing.AllMetrics() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("netjson: unknown routing metric %q (want one of: hop count, e2eTD, average-e2eD)", name)
+}
+
+// queryPath resolves the query to a concrete link path, routing when
+// only endpoints are given.
+func (s *Spec) queryPath(net *topology.Network, m conflict.Model, background []core.Flow) (topology.Path, error) {
+	if len(s.Query.Path) > 0 {
+		return nodePath(net, s.Query.Path)
+	}
+	if s.Query.Src == nil || s.Query.Dst == nil {
+		return nil, fmt.Errorf("netjson: query needs either a path or src+dst")
+	}
+	metric := routing.MetricAvgE2ED
+	if s.Query.Metric != "" {
+		var err error
+		metric, err = parseMetric(s.Query.Metric)
+		if err != nil {
+			return nil, err
+		}
+	}
+	idle, err := routing.BackgroundIdleness(net, m, background, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return routing.FindPath(net, m, metric, idle, topology.NodeID(*s.Query.Src), topology.NodeID(*s.Query.Dst))
+}
+
+// Solve answers the spec: exact available bandwidth (Eq. 6), the
+// delivering schedule, and all five distributed estimates.
+func Solve(s *Spec) (*Answer, error) {
+	net, err := s.BuildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	m := conflict.NewPhysical(net)
+	background, err := s.backgroundFlows(net)
+	if err != nil {
+		return nil, err
+	}
+	path, err := s.queryPath(net, m, background)
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := net.PathNodes(path)
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{
+		PathNodes: nodeInts(nodes),
+		PathLinks: linkInts(path),
+	}
+	res, err := core.AvailableBandwidth(m, background, path, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return ans, nil // infeasible background: Feasible stays false
+	}
+	ans.Feasible = true
+	ans.Bandwidth = res.Bandwidth
+	for _, slot := range res.Schedule.Slots {
+		sa := SlotAnswer{Share: slot.Share, Couples: make(map[string]string, slot.Set.Len())}
+		for _, cp := range slot.Set.Couples {
+			sa.Couples[fmt.Sprintf("L%d", cp.Link)] = cp.Rate.String()
+		}
+		ans.Schedule = append(ans.Schedule, sa)
+	}
+
+	sched, err := routing.BackgroundSchedule(m, background, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ps, err := estimate.PathStateFromSchedule(net, m, sched, path)
+	if err != nil {
+		return nil, err
+	}
+	ests, err := estimate.EstimateAll(m, ps)
+	if err != nil {
+		return nil, err
+	}
+	ans.Estimates = make(map[string]float64, len(ests))
+	for metric, v := range ests {
+		ans.Estimates[metric.String()] = v
+	}
+	return ans, nil
+}
+
+// WriteAnswer encodes the answer as indented JSON.
+func WriteAnswer(w io.Writer, a *Answer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("netjson: encoding answer: %w", err)
+	}
+	return nil
+}
+
+func nodePath(net *topology.Network, ids []int) (topology.Path, error) {
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("path needs at least two nodes, got %d", len(ids))
+	}
+	nodes := make([]topology.NodeID, 0, len(ids))
+	for _, id := range ids {
+		nodes = append(nodes, topology.NodeID(id))
+	}
+	return net.PathFromNodes(nodes)
+}
+
+func nodeInts(nodes []topology.NodeID) []int {
+	out := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, int(n))
+	}
+	return out
+}
+
+func linkInts(path topology.Path) []int {
+	out := make([]int, 0, len(path))
+	for _, l := range path {
+		out = append(out, int(l))
+	}
+	return out
+}

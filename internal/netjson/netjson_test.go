@@ -1,0 +1,160 @@
+package netjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// chainSpec is a 5-node 100m chain with a 2 Mbps background flow on the
+// full path; the query asks about the same path.
+const chainSpec = `{
+  "nodes": [{"x":0,"y":0},{"x":100,"y":0},{"x":200,"y":0},{"x":300,"y":0},{"x":400,"y":0}],
+  "background": [{"path":[0,1,2,3,4],"demand":2}],
+  "query": {"path":[0,1,2,3,4]}
+}`
+
+func TestSolveExplicitPath(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(chainSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Feasible {
+		t.Fatal("expected feasible")
+	}
+	// Chain capacity 54/11 minus the 2 Mbps background.
+	want := 54.0/11 - 2
+	if math.Abs(ans.Bandwidth-want) > 1e-6 {
+		t.Errorf("bandwidth = %.6f, want %.6f", ans.Bandwidth, want)
+	}
+	if len(ans.PathNodes) != 5 || len(ans.PathLinks) != 4 {
+		t.Errorf("path sizes: %d nodes, %d links", len(ans.PathNodes), len(ans.PathLinks))
+	}
+	if len(ans.Schedule) == 0 {
+		t.Error("expected a schedule")
+	}
+	if len(ans.Estimates) != 5 {
+		t.Errorf("got %d estimates, want 5", len(ans.Estimates))
+	}
+}
+
+func TestSolveRoutedQuery(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+	  "nodes": [{"x":0,"y":0},{"x":100,"y":0},{"x":200,"y":0}],
+	  "query": {"src":0,"dst":2,"metric":"e2eTD"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Feasible || ans.Bandwidth <= 0 {
+		t.Errorf("answer = %+v", ans)
+	}
+	if ans.PathNodes[0] != 0 || ans.PathNodes[len(ans.PathNodes)-1] != 2 {
+		t.Errorf("routed path endpoints wrong: %v", ans.PathNodes)
+	}
+}
+
+func TestSolveInfeasibleBackground(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+	  "nodes": [{"x":0,"y":0},{"x":100,"y":0}],
+	  "background": [{"path":[0,1],"demand":100}],
+	  "query": {"path":[0,1]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Feasible {
+		t.Error("100 Mbps on an 18 Mbps link should be infeasible")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"unknown": 1, "nodes": [], "query": {}}`,
+	}
+	for i, doc := range bad {
+		if _, err := ParseSpec(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"no nodes", `{"nodes": [], "query": {"path":[0,1]}}`},
+		{"no query", `{"nodes": [{"x":0,"y":0},{"x":50,"y":0}], "query": {}}`},
+		{"bad metric", `{"nodes": [{"x":0,"y":0},{"x":50,"y":0}], "query": {"src":0,"dst":1,"metric":"bogus"}}`},
+		{"short path", `{"nodes": [{"x":0,"y":0},{"x":50,"y":0}], "query": {"path":[0]}}`},
+		{"broken hop", `{"nodes": [{"x":0,"y":0},{"x":500,"y":0}], "query": {"path":[0,1]}}`},
+		{"zero demand", `{"nodes": [{"x":0,"y":0},{"x":50,"y":0}], "background":[{"path":[0,1],"demand":0}], "query": {"path":[0,1]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ParseSpec(strings.NewReader(tc.doc))
+			if err != nil {
+				t.Fatalf("spec itself should parse: %v", err)
+			}
+			if _, err := Solve(spec); err == nil {
+				t.Error("expected solve error")
+			}
+		})
+	}
+}
+
+func TestWriteAnswerRoundTrips(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(chainSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAnswer(&buf, ans); err != nil {
+		t.Fatal(err)
+	}
+	var back Answer
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("answer is not valid JSON: %v", err)
+	}
+	if math.Abs(back.Bandwidth-ans.Bandwidth) > 1e-12 {
+		t.Error("bandwidth did not round-trip")
+	}
+}
+
+func TestCSRangeFactorOverride(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+	  "nodes": [{"x":0,"y":0},{"x":100,"y":0}],
+	  "csRangeFactor": 3.0,
+	  "query": {"path":[0,1]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := spec.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Profile().CSRange(); math.Abs(got-3*158) > 1e-9 {
+		t.Errorf("CSRange = %g, want %g", got, 3*158.0)
+	}
+}

@@ -1,0 +1,157 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"abw/internal/conflict"
+	"abw/internal/core"
+	"abw/internal/estimate"
+	"abw/internal/graph"
+	"abw/internal/lp"
+	"abw/internal/schedule"
+	"abw/internal/topology"
+)
+
+// Request is one flow asking to join the network.
+type Request struct {
+	Src    topology.NodeID
+	Dst    topology.NodeID
+	Demand float64 // Mbps
+}
+
+// Decision records the outcome of one admission attempt.
+type Decision struct {
+	Request Request
+	// Path is the route the metric chose (nil when routing failed).
+	Path topology.Path
+	// Available is the exact available bandwidth of Path given the
+	// previously admitted flows (the paper's Fig. 3 y-axis).
+	Available float64
+	// Admitted is true when Available covers the demand.
+	Admitted bool
+	// Reason explains a rejection.
+	Reason string
+}
+
+// AdmissionOptions configure a sequential admission run.
+type AdmissionOptions struct {
+	// StopAtFirstFailure mirrors the paper's Sec. 5.2 setup: the run
+	// ends when the first flow cannot be satisfied.
+	StopAtFirstFailure bool
+	// Core carries through to the availability LP.
+	Core core.Options
+}
+
+// SequentialAdmission reproduces the paper's Sec. 5.2 experiment: flows
+// join one by one; each is routed with the given metric using the
+// idleness induced by the already-admitted background, its path's exact
+// available bandwidth is computed with the Eq. 6 model, and it is
+// admitted iff the demand fits.
+func SequentialAdmission(
+	net *topology.Network,
+	m conflict.Model,
+	metric Metric,
+	requests []Request,
+	opts AdmissionOptions,
+) ([]Decision, error) {
+	var admitted []core.Flow
+	decisions := make([]Decision, 0, len(requests))
+	for _, req := range requests {
+		dec, err := admitOne(net, m, metric, req, admitted, opts.Core)
+		if err != nil {
+			return decisions, err
+		}
+		decisions = append(decisions, dec)
+		if dec.Admitted {
+			admitted = append(admitted, core.Flow{Path: dec.Path, Demand: req.Demand})
+		} else if opts.StopAtFirstFailure {
+			break
+		}
+	}
+	return decisions, nil
+}
+
+func admitOne(
+	net *topology.Network,
+	m conflict.Model,
+	metric Metric,
+	req Request,
+	admitted []core.Flow,
+	coreOpts core.Options,
+) (Decision, error) {
+	dec := Decision{Request: req}
+	if req.Demand <= 0 {
+		return dec, fmt.Errorf("routing: request demand must be positive, got %g", req.Demand)
+	}
+	idle, err := BackgroundIdleness(net, m, admitted, coreOpts)
+	if err != nil {
+		return dec, err
+	}
+	path, err := FindPath(net, m, metric, idle, req.Src, req.Dst)
+	if errors.Is(err, graph.ErrNoPath) {
+		dec.Reason = "no route"
+		return dec, nil
+	}
+	if err != nil {
+		return dec, err
+	}
+	dec.Path = path
+
+	res, err := core.AvailableBandwidth(m, admitted, path, coreOpts)
+	if err != nil {
+		return dec, fmt.Errorf("routing: availability of %v: %w", path, err)
+	}
+	if res.Status != lp.Optimal {
+		dec.Reason = fmt.Sprintf("availability LP %v", res.Status)
+		return dec, nil
+	}
+	dec.Available = math.Max(0, res.Bandwidth) // LP round-off can dip below zero
+	if res.Bandwidth+1e-9 >= req.Demand {
+		dec.Admitted = true
+	} else {
+		dec.Reason = fmt.Sprintf("available %.3f Mbps < demand %.3f Mbps", res.Bandwidth, req.Demand)
+	}
+	return dec, nil
+}
+
+// BackgroundIdleness derives per-node carrier-sensed idle ratios from
+// the admitted flows: the minimal-airtime schedule delivering the
+// admitted demands is computed (what an efficient network converges to)
+// and each node senses it. With no background, every node is fully
+// idle.
+func BackgroundIdleness(net *topology.Network, m conflict.Model, admitted []core.Flow, coreOpts core.Options) ([]float64, error) {
+	if len(admitted) == 0 {
+		idle := make([]float64, net.NumNodes())
+		for i := range idle {
+			idle[i] = 1
+		}
+		return idle, nil
+	}
+	ok, sched, err := core.FeasibleDemands(m, admitted, coreOpts)
+	if err != nil {
+		return nil, fmt.Errorf("routing: background schedule: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("routing: background flows are not jointly schedulable")
+	}
+	return estimate.NodeIdleRatios(net, sched), nil
+}
+
+// BackgroundSchedule exposes the minimal-airtime schedule used for
+// idleness, for callers that need the schedule itself (e.g. the Fig. 4
+// estimation experiment and the simulators).
+func BackgroundSchedule(m conflict.Model, admitted []core.Flow, coreOpts core.Options) (schedule.Schedule, error) {
+	if len(admitted) == 0 {
+		return schedule.Schedule{}, nil
+	}
+	ok, sched, err := core.FeasibleDemands(m, admitted, coreOpts)
+	if err != nil {
+		return schedule.Schedule{}, fmt.Errorf("routing: background schedule: %w", err)
+	}
+	if !ok {
+		return schedule.Schedule{}, fmt.Errorf("routing: background not schedulable")
+	}
+	return sched, nil
+}

@@ -1,0 +1,84 @@
+// Package scenario provides the paper's two worked topologies (Fig. 1)
+// as reusable fixtures, encoded exactly as the text states them with the
+// Table conflict model. Link L_k of the paper maps to LinkID k-1.
+package scenario
+
+import (
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// ScenarioI is the three-link topology of Fig. 1 (left) used by the
+// paper's introduction: L1 and L2 do not interfere with (or hear) each
+// other, while L3 interferes with both. Background traffic occupies time
+// share Lambda on each of L1 and L2; the new one-hop flow runs over L3.
+type ScenarioI struct {
+	Model *conflict.Table
+	// L1, L2, L3 are the paper's links (IDs 0, 1, 2).
+	L1, L2, L3 topology.LinkID
+	// Rate is the single channel rate every link supports.
+	Rate radio.Rate
+}
+
+// NewScenarioI builds the Scenario I fixture with the given single
+// channel rate (the introduction's example is rate-agnostic; 54 Mbps is
+// a convenient concrete choice).
+func NewScenarioI(rate radio.Rate) *ScenarioI {
+	t := conflict.NewTable()
+	s := &ScenarioI{Model: t, L1: 0, L2: 1, L3: 2, Rate: rate}
+	t.SetRates(s.L1, rate)
+	t.SetRates(s.L2, rate)
+	t.SetRates(s.L3, rate)
+	// L3 conflicts with both L1 and L2; L1 and L2 are mutually clear.
+	mustAdd(t.AddConflictAllRates(s.L3, s.L1))
+	mustAdd(t.AddConflictAllRates(s.L3, s.L2))
+	return s
+}
+
+// ScenarioII is the four-link chain of Fig. 1 (right), the paper's
+// counterexample to the clique constraint (Sec. 3.1 and 5.1): every link
+// supports 36 and 54 Mbps alone; any two of {L1,L2,L3} interfere at all
+// rates, as do any two of {L2,L3,L4}; L1 at 54 Mbps interferes with L4
+// at any rate, but L1 at 36 Mbps does not.
+type ScenarioII struct {
+	Model *conflict.Table
+	// L1..L4 are the paper's chain links (IDs 0..3).
+	L1, L2, L3, L4 topology.LinkID
+	// Path is the 4-hop flow path L1 -> L2 -> L3 -> L4.
+	Path topology.Path
+}
+
+// NewScenarioII builds the Scenario II fixture.
+func NewScenarioII() *ScenarioII {
+	t := conflict.NewTable()
+	s := &ScenarioII{Model: t, L1: 0, L2: 1, L3: 2, L4: 3}
+	for _, l := range []topology.LinkID{s.L1, s.L2, s.L3, s.L4} {
+		t.SetRates(l, 36, 54)
+	}
+	// Any two of links 1,2,3 interfere with each other whichever rates
+	// they use; the same for links 2,3,4.
+	mustAdd(t.AddConflictAllRates(s.L1, s.L2))
+	mustAdd(t.AddConflictAllRates(s.L1, s.L3))
+	mustAdd(t.AddConflictAllRates(s.L2, s.L3))
+	mustAdd(t.AddConflictAllRates(s.L2, s.L4))
+	mustAdd(t.AddConflictAllRates(s.L3, s.L4))
+	// L1 at 54 interferes with L4 at any rate; L1 at 36 does not.
+	mustAdd(t.AddConflict(s.L1, 54, s.L4, 36))
+	mustAdd(t.AddConflict(s.L1, 54, s.L4, 54))
+	s.Path = topology.Path{s.L1, s.L2, s.L3, s.L4}
+	return s
+}
+
+// Links returns the chain links in path order.
+func (s *ScenarioII) Links() []topology.LinkID {
+	return []topology.LinkID{s.L1, s.L2, s.L3, s.L4}
+}
+
+func mustAdd(err error) {
+	if err != nil {
+		// The fixtures above only add conflicts between distinct links
+		// with declared rates; an error means the package is broken.
+		panic(err)
+	}
+}

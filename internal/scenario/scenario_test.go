@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+func TestScenarioIRelations(t *testing.T) {
+	s := NewScenarioI(54)
+	if s.Rate != 54 {
+		t.Errorf("Rate = %v", s.Rate)
+	}
+	// L1 and L2 are mutually clear.
+	if !conflict.Feasible(s.Model, []conflict.Couple{{Link: s.L1, Rate: 54}, {Link: s.L2, Rate: 54}}) {
+		t.Error("L1+L2 should be feasible")
+	}
+	// L3 conflicts with both.
+	for _, other := range []topology.LinkID{s.L1, s.L2} {
+		if conflict.Feasible(s.Model, []conflict.Couple{
+			{Link: s.L3, Rate: 54},
+			{Link: other, Rate: 54},
+		}) {
+			t.Errorf("L3+L%d should be infeasible", other+1)
+		}
+	}
+}
+
+func TestScenarioIIRelations(t *testing.T) {
+	s := NewScenarioII()
+	if len(s.Path) != 4 || s.Path[0] != s.L1 || s.Path[3] != s.L4 {
+		t.Errorf("Path = %v", s.Path)
+	}
+	if got := s.Links(); len(got) != 4 {
+		t.Errorf("Links = %v", got)
+	}
+	// Every link supports exactly {54, 36} alone, descending.
+	for _, l := range s.Links() {
+		rates := s.Model.Rates(l)
+		if len(rates) != 2 || rates[0] != 54 || rates[1] != 36 {
+			t.Errorf("link %d rates = %v, want [54 36]", l, rates)
+		}
+	}
+	// The defining asymmetry: (L1,36)+(L4,*) feasible, (L1,54)+(L4,*) not.
+	for _, r4 := range []radio.Rate{36, 54} {
+		if !conflict.Feasible(s.Model, []conflict.Couple{
+			{Link: s.L1, Rate: 36}, {Link: s.L4, Rate: r4},
+		}) {
+			t.Errorf("(L1,36)+(L4,%v) should be feasible", r4)
+		}
+		if conflict.Feasible(s.Model, []conflict.Couple{
+			{Link: s.L1, Rate: 54}, {Link: s.L4, Rate: r4},
+		}) {
+			t.Errorf("(L1,54)+(L4,%v) should be infeasible", r4)
+		}
+	}
+	// Triads {L1,L2,L3} and {L2,L3,L4} conflict pairwise at all rates.
+	pairs := [][2]topology.LinkID{
+		{s.L1, s.L2}, {s.L1, s.L3}, {s.L2, s.L3}, {s.L2, s.L4}, {s.L3, s.L4},
+	}
+	for _, p := range pairs {
+		for _, ra := range []radio.Rate{36, 54} {
+			for _, rb := range []radio.Rate{36, 54} {
+				if !s.Model.HasConflict(p[0], ra, p[1], rb) {
+					t.Errorf("links %d,%d should conflict at (%v,%v)", p[0], p[1], ra, rb)
+				}
+			}
+		}
+	}
+}

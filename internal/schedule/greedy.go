@@ -1,0 +1,159 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"abw/internal/conflict"
+	"abw/internal/indepset"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// Greedy builds a schedule for the given per-link demands (Mbps per
+// unit period) without solving the LP: a practical baseline for the
+// paper's "globally optimal link scheduling" assumption. Each
+// iteration starts a slot with the neediest unsatisfied link (largest
+// residual airtime at its current best rate), greedily packs in other
+// needy links while every member keeps a positive rate, and sizes the
+// slot to the first member completion.
+//
+// It returns the schedule, whether every demand was met within one
+// period, and an error on malformed input. The schedule is always
+// feasible (every slot validated against m); when satisfied is false
+// the schedule simply fills the period with best-effort service, so
+// Throughput reports what greedy *did* deliver.
+func Greedy(m conflict.Model, demand map[topology.LinkID]float64) (Schedule, bool, error) {
+	residual := make(map[topology.LinkID]float64, len(demand))
+	links := make([]topology.LinkID, 0, len(demand))
+	for l, d := range demand {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return Schedule{}, false, fmt.Errorf("schedule: invalid demand %g on link %d", d, l)
+		}
+		if d == 0 {
+			continue
+		}
+		if conflict.AloneMaxRate(m, l) <= 0 {
+			return Schedule{}, false, fmt.Errorf("schedule: link %d cannot transmit", l)
+		}
+		residual[l] = d
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+
+	var sched Schedule
+	used := 0.0
+	const tol = 1e-12
+	for iter := 0; used < 1-tol && len(residual) > 0; iter++ {
+		if iter > 4*len(demand)+16 {
+			// Each slot completes at least one link, so this cannot
+			// happen unless progress stalls numerically.
+			break
+		}
+		members, rates := packSlot(m, links, residual)
+		if len(members) == 0 {
+			break
+		}
+		// Slot length: first member completion, capped by the period.
+		share := 1 - used
+		for i, l := range members {
+			if t := residual[l] / float64(rates[i]); t < share {
+				share = t
+			}
+		}
+		if share <= tol {
+			break
+		}
+		couples := make([]conflict.Couple, 0, len(members))
+		for i, l := range members {
+			couples = append(couples, conflict.Couple{Link: l, Rate: rates[i]})
+		}
+		sched.Slots = append(sched.Slots, Slot{Set: indepset.NewSet(couples...), Share: share})
+		used += share
+		for i, l := range members {
+			residual[l] -= share * float64(rates[i])
+			if residual[l] <= tol*float64(rates[i])+1e-9 {
+				delete(residual, l)
+			}
+		}
+	}
+	return sched.Normalized(), len(residual) == 0, nil
+}
+
+// packSlot greedily assembles a concurrent set: seed with the link
+// needing the most airtime, then add others in airtime order while the
+// whole set keeps positive rates.
+func packSlot(m conflict.Model, order []topology.LinkID, residual map[topology.LinkID]float64) ([]topology.LinkID, []radio.Rate) {
+	type cand struct {
+		link topology.LinkID
+		time float64
+	}
+	cands := make([]cand, 0, len(residual))
+	for _, l := range order {
+		d, ok := residual[l]
+		if !ok {
+			continue
+		}
+		r := conflict.AloneMaxRate(m, l)
+		cands = append(cands, cand{link: l, time: d / float64(r)})
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].time > cands[j].time })
+
+	var members []topology.LinkID
+	var rates []radio.Rate
+	for _, c := range cands {
+		trial := append(append([]topology.LinkID(nil), members...), c.link)
+		trialRates, ok := maxRatesOf(m, trial)
+		if !ok {
+			continue
+		}
+		members = trial
+		rates = trialRates
+	}
+	return members, rates
+}
+
+// maxRatesOf computes a stable max-rate assignment for a set: start
+// from alone rates and lower each member to what the model sustains
+// given the others, iterating to a fixed point. Returns false if any
+// member is silenced.
+func maxRatesOf(m conflict.Model, links []topology.LinkID) ([]radio.Rate, bool) {
+	couples := make([]conflict.Couple, len(links))
+	for i, l := range links {
+		couples[i] = conflict.Couple{Link: l, Rate: conflict.AloneMaxRate(m, l)}
+	}
+	for pass := 0; pass < len(links)+1; pass++ {
+		changed := false
+		for i := range couples {
+			others := make([]conflict.Couple, 0, len(couples)-1)
+			for j, c := range couples {
+				if j != i {
+					others = append(others, c)
+				}
+			}
+			r := m.MaxRate(couples[i].Link, others)
+			if r == 0 {
+				return nil, false
+			}
+			if r != couples[i].Rate {
+				couples[i].Rate = r
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !conflict.Feasible(m, couples) {
+		return nil, false
+	}
+	rates := make([]radio.Rate, len(couples))
+	for i, c := range couples {
+		rates[i] = c.Rate
+	}
+	return rates, true
+}

@@ -1,0 +1,179 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/scenario"
+	"abw/internal/topology"
+)
+
+func TestGreedySingleLink(t *testing.T) {
+	s := scenario.NewScenarioI(54)
+	sched, ok, err := Greedy(s.Model, map[topology.LinkID]float64{s.L1: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("27 Mbps on a 54 Mbps link must fit")
+	}
+	if err := sched.Validate(s.Model); err != nil {
+		t.Errorf("invalid schedule: %v", err)
+	}
+	if got := sched.Throughput(s.L1); math.Abs(got-27) > 1e-9 {
+		t.Errorf("delivered %.4f, want 27", got)
+	}
+	if got := sched.TotalShare(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("share %.4f, want 0.5", got)
+	}
+}
+
+func TestGreedyOverlapsIndependentLinks(t *testing.T) {
+	// Scenario I: L1 and L2 are independent; greedy must run them
+	// concurrently so L3 still fits.
+	s := scenario.NewScenarioI(54)
+	demand := map[topology.LinkID]float64{
+		s.L1: 20, s.L2: 20, s.L3: 30,
+	}
+	sched, ok, err := Greedy(s.Model, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("demands should fit with overlap (schedule %v)", &sched)
+	}
+	if err := sched.Validate(s.Model); err != nil {
+		t.Errorf("invalid schedule: %v", err)
+	}
+	if !sched.Delivers(demand, 1e-6) {
+		t.Error("schedule does not deliver the demands")
+	}
+	// Overlap check: total share must be below the naive serial sum
+	// (20+20+30)/54 = 1.296.
+	if got := sched.TotalShare(); got > 1+1e-9 {
+		t.Errorf("share %.4f exceeds the period", got)
+	}
+}
+
+func TestGreedyReportsInfeasible(t *testing.T) {
+	s := scenario.NewScenarioI(54)
+	// L1 and L3 conflict: 40+40 > 54 cannot fit.
+	sched, ok, err := Greedy(s.Model, map[topology.LinkID]float64{s.L1: 40, s.L3: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("80 Mbps of conflicting demand cannot fit in a 54 Mbps channel")
+	}
+	// Best effort still validates and fills most of the period.
+	if err := sched.Validate(s.Model); err != nil {
+		t.Errorf("invalid schedule: %v", err)
+	}
+	if sched.TotalShare() < 0.99 {
+		t.Errorf("best-effort schedule only used %.4f of the period", sched.TotalShare())
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	s := scenario.NewScenarioI(54)
+	if _, _, err := Greedy(s.Model, map[topology.LinkID]float64{s.L1: -1}); err == nil {
+		t.Error("negative demand: expected error")
+	}
+	if _, _, err := Greedy(s.Model, map[topology.LinkID]float64{topology.LinkID(99): 1}); err == nil {
+		t.Error("unknown link: expected error")
+	}
+	sched, ok, err := Greedy(s.Model, nil)
+	if err != nil || !ok || len(sched.Slots) != 0 {
+		t.Errorf("empty demand: (%v, %v, %v)", sched.Slots, ok, err)
+	}
+}
+
+func TestGreedyNeverBeatsOptimalScenarioII(t *testing.T) {
+	// Greedy delivers at most the LP optimum 16.2 on the chain; in fact
+	// it cannot reach it because it never lowers L1 below its max rate
+	// proactively.
+	s := scenario.NewScenarioII()
+	for _, f := range []float64{10, 13, 15, 16.2} {
+		demand := map[topology.LinkID]float64{}
+		for _, l := range s.Links() {
+			demand[l] = f
+		}
+		sched, ok, err := Greedy(s.Model, demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(s.Model); err != nil {
+			t.Errorf("f=%g: invalid schedule: %v", f, err)
+		}
+		if ok && f > 16.2+1e-9 {
+			t.Errorf("greedy claims to deliver %g > optimum 16.2", f)
+		}
+		for _, l := range s.Links() {
+			if got := sched.Throughput(l); got > f+1e-9 {
+				t.Errorf("f=%g: link %d over-delivered %.4f", f, l, got)
+			}
+		}
+	}
+}
+
+func TestGreedyRandomDemandsStayFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		tb := conflict.NewTable()
+		n := 3 + rng.Intn(4)
+		demand := map[topology.LinkID]float64{}
+		for i := topology.LinkID(0); int(i) < n; i++ {
+			tb.SetRates(i, 54, 36, 18)
+			demand[i] = 2 + rng.Float64()*10
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					if err := tb.AddConflictAllRates(topology.LinkID(i), topology.LinkID(j)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		sched, ok, err := Greedy(tb, demand)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Validate(tb); err != nil {
+			t.Errorf("trial %d: invalid schedule: %v", trial, err)
+		}
+		if ok && !sched.Delivers(demand, 1e-6) {
+			t.Errorf("trial %d: claims satisfied but does not deliver", trial)
+		}
+		for l, d := range demand {
+			if got := sched.Throughput(l); got > d+1e-6 {
+				t.Errorf("trial %d: link %d over-delivered %.4f > %.4f", trial, l, got, d)
+			}
+		}
+	}
+}
+
+func TestGreedyPhysicalChain(t *testing.T) {
+	net, path, err := topology.Chain(radio.NewProfile80211a(), 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := conflict.NewPhysical(net)
+	demand := map[topology.LinkID]float64{}
+	for _, l := range path {
+		demand[l] = 4 // below the 4.5 greedy-reachable line rate
+	}
+	sched, ok, err := Greedy(m, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("4 Mbps per hop should fit greedily (schedule %v)", &sched)
+	}
+	if err := sched.Validate(m); err != nil {
+		t.Errorf("invalid schedule: %v", err)
+	}
+}

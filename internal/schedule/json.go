@@ -1,0 +1,65 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"abw/internal/conflict"
+	"abw/internal/indepset"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// coupleDTO is the wire form of one (link, rate) couple.
+type coupleDTO struct {
+	Link int     `json:"link"`
+	Rate float64 `json:"rateMbps"`
+}
+
+// slotDTO is the wire form of one slot.
+type slotDTO struct {
+	Share   float64     `json:"share"`
+	Couples []coupleDTO `json:"couples"`
+}
+
+// MarshalJSON encodes the schedule as a JSON array of slots, each with
+// its time share and (link, rate) couples — the persistable form of an
+// LP solution.
+func (s Schedule) MarshalJSON() ([]byte, error) {
+	out := make([]slotDTO, 0, len(s.Slots))
+	for _, slot := range s.Slots {
+		dto := slotDTO{Share: slot.Share, Couples: make([]coupleDTO, 0, slot.Set.Len())}
+		for _, cp := range slot.Set.Couples {
+			dto.Couples = append(dto.Couples, coupleDTO{Link: int(cp.Link), Rate: float64(cp.Rate)})
+		}
+		out = append(out, dto)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var dtos []slotDTO
+	if err := json.Unmarshal(data, &dtos); err != nil {
+		return fmt.Errorf("schedule: %w", err)
+	}
+	out := Schedule{Slots: make([]Slot, 0, len(dtos))}
+	for i, dto := range dtos {
+		if dto.Share < 0 {
+			return fmt.Errorf("schedule: slot %d has negative share %g", i, dto.Share)
+		}
+		couples := make([]conflict.Couple, 0, len(dto.Couples))
+		for _, c := range dto.Couples {
+			if c.Link < 0 || c.Rate <= 0 {
+				return fmt.Errorf("schedule: slot %d has invalid couple (%d, %g)", i, c.Link, c.Rate)
+			}
+			couples = append(couples, conflict.Couple{
+				Link: topology.LinkID(c.Link),
+				Rate: radio.Rate(c.Rate),
+			})
+		}
+		out.Slots = append(out.Slots, Slot{Share: dto.Share, Set: indepset.NewSet(couples...)})
+	}
+	*s = out
+	return nil
+}

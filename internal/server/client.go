@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"abw/internal/netjson"
+)
+
+// Client is a typed HTTP client for the admission-control API — the
+// programmatic counterpart of curl against cmd/abwd.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://localhost:8080"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// InstallNetwork installs/replaces the daemon's topology.
+func (c *Client) InstallNetwork(nodes []netjson.NodeSpec, csRangeFactor float64) (NetworkInfo, error) {
+	var out NetworkInfo
+	err := c.do(http.MethodPut, "/v1/network", networkRequest{Nodes: nodes, CSRangeFactor: csRangeFactor}, &out)
+	return out, err
+}
+
+// NetworkInfo mirrors the daemon's network summary.
+type NetworkInfo struct {
+	Nodes     int  `json:"nodes"`
+	Links     int  `json:"links"`
+	Flows     int  `json:"flows"`
+	Installed bool `json:"installed"`
+}
+
+// Network fetches the current topology summary.
+func (c *Client) Network() (NetworkInfo, error) {
+	var out NetworkInfo
+	err := c.do(http.MethodGet, "/v1/network", nil, &out)
+	return out, err
+}
+
+// QueryResult mirrors the daemon's availability answer.
+type QueryResult struct {
+	Feasible  bool               `json:"feasible"`
+	Bandwidth float64            `json:"bandwidthMbps"`
+	Admit     *bool              `json:"wouldAdmit"`
+	PathNodes []int              `json:"pathNodes"`
+	Estimates map[string]float64 `json:"estimates"`
+}
+
+// Query asks for the availability between src and dst (optionally with
+// a demand to get an admit verdict) without changing daemon state.
+func (c *Client) Query(src, dst int, demand float64) (QueryResult, error) {
+	var out QueryResult
+	err := c.do(http.MethodPost, "/v1/query", queryRequest{Src: &src, Dst: &dst, Demand: demand}, &out)
+	return out, err
+}
+
+// FlowInfo mirrors an admitted flow record.
+type FlowInfo struct {
+	ID     int     `json:"id"`
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Demand float64 `json:"demandMbps"`
+	Nodes  []int   `json:"pathNodes"`
+}
+
+// AdmitResult mirrors the daemon's admission answer.
+type AdmitResult struct {
+	Admitted  bool      `json:"admitted"`
+	Reason    string    `json:"reason"`
+	Available float64   `json:"availableMbps"`
+	Flow      *FlowInfo `json:"flow"`
+}
+
+// Admit requests admission of a new flow.
+func (c *Client) Admit(src, dst int, demand float64) (AdmitResult, error) {
+	var out AdmitResult
+	err := c.do(http.MethodPost, "/v1/flows", flowRequest{Src: src, Dst: dst, Demand: demand}, &out)
+	return out, err
+}
+
+// Flows lists the admitted flows.
+func (c *Client) Flows() ([]FlowInfo, error) {
+	var out []FlowInfo
+	err := c.do(http.MethodGet, "/v1/flows", nil, &out)
+	return out, err
+}
+
+// Teardown removes an admitted flow, freeing its bandwidth.
+func (c *Client) Teardown(id int) (FlowInfo, error) {
+	var out FlowInfo
+	err := c.do(http.MethodDelete, fmt.Sprintf("/v1/flows/%d", id), nil, &out)
+	return out, err
+}
+
+// FairShare is one row of the fairshare report.
+type FairShare struct {
+	Flow      int     `json:"flow"`
+	FairShare float64 `json:"fairShareMbps"`
+	Demand    float64 `json:"demandMbps"`
+}
+
+// Fairshares reports every admitted flow's max-min fair share.
+func (c *Client) Fairshares() ([]FairShare, error) {
+	var out []FairShare
+	err := c.do(http.MethodGet, "/v1/fairshare", nil, &out)
+	return out, err
+}
+
+func (c *Client) do(method, path string, in, out interface{}) error {
+	var body *bytes.Buffer
+	if in != nil {
+		body = &bytes.Buffer{}
+		if err := json.NewEncoder(body).Encode(in); err != nil {
+			return fmt.Errorf("server client: encoding request: %w", err)
+		}
+	} else {
+		body = &bytes.Buffer{}
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("server client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("server client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("server client: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server client: decoding response: %w", err)
+	}
+	return nil
+}

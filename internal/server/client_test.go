@@ -1,0 +1,121 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"abw/internal/netjson"
+)
+
+func chainNodes() []netjson.NodeSpec {
+	return []netjson.NodeSpec{
+		{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}, {X: 300, Y: 0}, {X: 400, Y: 0},
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	c := NewClient(ts.URL, nil)
+
+	// Install and inspect.
+	info, err := c.InstallNetwork(chainNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != 5 || info.Links != 8 || !info.Installed {
+		t.Fatalf("install info: %+v", info)
+	}
+	info, err = c.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Installed {
+		t.Fatalf("network info: %+v", info)
+	}
+
+	// Query.
+	q, err := c.Query(0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Feasible || math.Abs(q.Bandwidth-54.0/11) > 1e-6 {
+		t.Errorf("query = %+v", q)
+	}
+	if q.Admit == nil || !*q.Admit {
+		t.Errorf("wouldAdmit = %v", q.Admit)
+	}
+	if len(q.Estimates) != 5 {
+		t.Errorf("estimates = %v", q.Estimates)
+	}
+
+	// Admit two flows; the third fails.
+	first, err := c.Admit(0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Admitted || first.Flow == nil {
+		t.Fatalf("first admit: %+v", first)
+	}
+	if _, err := c.Admit(0, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	third, err := c.Admit(0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Admitted || third.Reason == "" {
+		t.Errorf("third admit: %+v", third)
+	}
+
+	// List, fairshare, teardown.
+	flows, err := c.Flows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("flows: %+v", flows)
+	}
+	shares, err := c.Fairshares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 2 {
+		t.Fatalf("fairshares: %+v", shares)
+	}
+	for _, s := range shares {
+		if math.Abs(s.FairShare-54.0/22) > 1e-6 {
+			t.Errorf("fair share = %+v, want 54/22", s)
+		}
+	}
+	gone, err := c.Teardown(first.Flow.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gone.ID != first.Flow.ID {
+		t.Errorf("teardown returned %+v", gone)
+	}
+	flows, err = c.Flows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 {
+		t.Errorf("flows after teardown: %+v", flows)
+	}
+}
+
+func TestClientErrorsSurfaceServerMessages(t *testing.T) {
+	ts := newTestServer(t)
+	c := NewClient(ts.URL, nil)
+	// No network installed yet.
+	_, err := c.Query(0, 4, 0)
+	if err == nil || !strings.Contains(err.Error(), "no network installed") {
+		t.Errorf("err = %v, want the server's message", err)
+	}
+	if _, err := c.Teardown(9); err == nil {
+		t.Error("teardown of a missing flow: expected error")
+	}
+	if _, err := c.InstallNetwork(nil, 0); err == nil {
+		t.Error("empty install: expected error")
+	}
+}

@@ -1,0 +1,463 @@
+// Package server exposes the availability model as an admission-control
+// service: an HTTP/JSON API that owns a network, tracks the admitted
+// flows, and answers routing, availability and admission queries — the
+// deployable form of the paper's QoS admission pipeline.
+//
+// Endpoints (all JSON):
+//
+//	PUT    /v1/network        install/replace the network (netjson node list)
+//	GET    /v1/network        topology summary
+//	POST   /v1/query          availability + estimates for a path or pair, no state change
+//	POST   /v1/flows          route, check and admit a flow
+//	GET    /v1/flows          list admitted flows
+//	DELETE /v1/flows/{id}     tear a flow down, freeing its bandwidth
+//
+// The server is safe for concurrent use; admissions serialize on the
+// state mutex so decisions are consistent.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"abw/internal/conflict"
+	"abw/internal/core"
+	"abw/internal/estimate"
+	"abw/internal/geom"
+	"abw/internal/lp"
+	"abw/internal/netjson"
+	"abw/internal/radio"
+	"abw/internal/routing"
+	"abw/internal/schedule"
+	"abw/internal/topology"
+)
+
+// Server is the admission-control service state. Create with New; the
+// zero value serves errors until a network is installed.
+type Server struct {
+	mu      sync.Mutex
+	net     *topology.Network
+	model   *conflict.Physical
+	flows   map[int]*flowRecord
+	nextID  int
+	maxBody int64
+}
+
+type flowRecord struct {
+	ID     int           `json:"id"`
+	Src    int           `json:"src"`
+	Dst    int           `json:"dst"`
+	Demand float64       `json:"demandMbps"`
+	Nodes  []int         `json:"pathNodes"`
+	path   topology.Path `json:"-"`
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{flows: make(map[int]*flowRecord), nextID: 1, maxBody: 1 << 20}
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/network", s.handleNetwork)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/flows", s.handleFlows)
+	mux.HandleFunc("/v1/flows/", s.handleFlowByID)
+	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/fairshare", s.handleFairshare)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client;
+	// they surface as a truncated body.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// networkRequest installs a topology.
+type networkRequest struct {
+	Nodes         []netjson.NodeSpec `json:"nodes"`
+	CSRangeFactor float64            `json:"csRangeFactor,omitempty"`
+}
+
+type networkSummary struct {
+	Nodes     int  `json:"nodes"`
+	Links     int  `json:"links"`
+	Flows     int  `json:"flows"`
+	Installed bool `json:"installed"`
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPut:
+		var req networkRequest
+		if err := s.decode(w, r, &req); err != nil {
+			return
+		}
+		if len(req.Nodes) == 0 {
+			writeError(w, http.StatusBadRequest, "network needs at least one node")
+			return
+		}
+		pts := make([]geom.Point, 0, len(req.Nodes))
+		for _, n := range req.Nodes {
+			pts = append(pts, geom.Point{X: n.X, Y: n.Y})
+		}
+		var opts []radio.Option
+		if req.CSRangeFactor > 0 {
+			opts = append(opts, radio.WithCSRangeFactor(req.CSRangeFactor))
+		}
+		net, err := topology.New(radio.NewProfile80211a(opts...), pts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "building network: %v", err)
+			return
+		}
+		s.mu.Lock()
+		s.net = net
+		s.model = conflict.NewPhysical(net)
+		s.flows = make(map[int]*flowRecord)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, networkSummary{
+			Nodes: net.NumNodes(), Links: net.NumLinks(), Installed: true,
+		})
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.net == nil {
+			writeJSON(w, http.StatusOK, networkSummary{})
+			return
+		}
+		writeJSON(w, http.StatusOK, networkSummary{
+			Nodes: s.net.NumNodes(), Links: s.net.NumLinks(), Flows: len(s.flows), Installed: true,
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// queryRequest asks about availability without changing state.
+type queryRequest struct {
+	Path   []int   `json:"path,omitempty"`
+	Src    *int    `json:"src,omitempty"`
+	Dst    *int    `json:"dst,omitempty"`
+	Metric string  `json:"metric,omitempty"`
+	Demand float64 `json:"demandMbps,omitempty"`
+}
+
+type queryResponse struct {
+	Feasible  bool               `json:"feasible"`
+	Bandwidth float64            `json:"bandwidthMbps"`
+	Admit     *bool              `json:"wouldAdmit,omitempty"`
+	PathNodes []int              `json:"pathNodes"`
+	Estimates map[string]float64 `json:"estimates"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req queryRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		writeError(w, http.StatusConflict, "no network installed")
+		return
+	}
+	path, err := s.resolvePathLocked(req.Path, req.Src, req.Dst, req.Metric)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.availabilityLocked(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if req.Demand > 0 {
+		admit := resp.Feasible && resp.Bandwidth+1e-9 >= req.Demand
+		resp.Admit = &admit
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// flowRequest admits a flow.
+type flowRequest struct {
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Demand float64 `json:"demandMbps"`
+	Metric string  `json:"metric,omitempty"`
+}
+
+type flowResponse struct {
+	Admitted  bool        `json:"admitted"`
+	Reason    string      `json:"reason,omitempty"`
+	Available float64     `json:"availableMbps"`
+	Flow      *flowRecord `json:"flow,omitempty"`
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]*flowRecord, 0, len(s.flows))
+		for id := 1; id < s.nextID; id++ {
+			if f, ok := s.flows[id]; ok {
+				out = append(out, f)
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req flowRequest
+		if err := s.decode(w, r, &req); err != nil {
+			return
+		}
+		if req.Demand <= 0 {
+			writeError(w, http.StatusBadRequest, "demandMbps must be positive")
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.net == nil {
+			writeError(w, http.StatusConflict, "no network installed")
+			return
+		}
+		path, err := s.resolvePathLocked(nil, &req.Src, &req.Dst, req.Metric)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		avail, err := s.availabilityLocked(path)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp := flowResponse{Available: avail.Bandwidth}
+		if !avail.Feasible {
+			resp.Reason = "existing flows are not schedulable with this path's constraints"
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if avail.Bandwidth+1e-9 < req.Demand {
+			resp.Reason = fmt.Sprintf("available %.3f Mbps < demand %.3f Mbps", avail.Bandwidth, req.Demand)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		rec := &flowRecord{
+			ID: s.nextID, Src: req.Src, Dst: req.Dst, Demand: req.Demand,
+			Nodes: avail.PathNodes, path: path,
+		}
+		s.nextID++
+		s.flows[rec.ID] = rec
+		resp.Admitted = true
+		resp.Flow = rec
+		writeJSON(w, http.StatusCreated, resp)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleFlowByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/flows/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id <= 0 {
+		writeError(w, http.StatusBadRequest, "invalid flow id %q", idStr)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.flows[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "flow %d not found", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, rec)
+	case http.MethodDelete:
+		delete(s.flows, id)
+		writeJSON(w, http.StatusOK, rec)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// handleSchedule returns the minimal-airtime schedule delivering the
+// admitted flows — what the network's TDMA layer should execute.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		writeError(w, http.StatusConflict, "no network installed")
+		return
+	}
+	sched, err := routing.BackgroundSchedule(s.model, s.backgroundLocked(), core.Options{})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		TotalShare float64           `json:"totalShare"`
+		Schedule   schedule.Schedule `json:"schedule"`
+	}{TotalShare: sched.TotalShare(), Schedule: sched})
+}
+
+type fairShareEntry struct {
+	Flow      int     `json:"flow"`
+	FairShare float64 `json:"fairShareMbps"`
+	Demand    float64 `json:"demandMbps"`
+}
+
+// handleFairshare computes each admitted flow's max-min fair share with
+// demands lifted — how much every flow could get if the schedulable
+// capacity were divided fairly instead of first-come.
+func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		writeError(w, http.StatusConflict, "no network installed")
+		return
+	}
+	var flows []core.Flow
+	var ids []int
+	var demands []float64
+	for id := 1; id < s.nextID; id++ {
+		if f, ok := s.flows[id]; ok {
+			flows = append(flows, core.Flow{Path: f.path}) // uncapped
+			ids = append(ids, f.ID)
+			demands = append(demands, f.Demand)
+		}
+	}
+	if len(flows) == 0 {
+		writeJSON(w, http.StatusOK, []fairShareEntry{})
+		return
+	}
+	alloc, _, err := core.MaxMinFair(s.model, flows, core.Options{})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]fairShareEntry, 0, len(alloc))
+	for i, a := range alloc {
+		out = append(out, fairShareEntry{Flow: ids[i], FairShare: a, Demand: demands[i]})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolvePathLocked turns a query into a concrete path: either explicit
+// node IDs or a routed src/dst pair under the admitted background.
+func (s *Server) resolvePathLocked(nodeIDs []int, src, dst *int, metricName string) (topology.Path, error) {
+	if len(nodeIDs) > 0 {
+		nodes := make([]topology.NodeID, 0, len(nodeIDs))
+		for _, id := range nodeIDs {
+			nodes = append(nodes, topology.NodeID(id))
+		}
+		return s.net.PathFromNodes(nodes)
+	}
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("need either path or src+dst")
+	}
+	metric := routing.MetricAvgE2ED
+	if metricName != "" {
+		found := false
+		for _, m := range routing.AllMetrics() {
+			if m.String() == metricName {
+				metric = m
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown metric %q", metricName)
+		}
+	}
+	idle, err := routing.BackgroundIdleness(s.net, s.model, s.backgroundLocked(), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return routing.FindPath(s.net, s.model, metric, idle, topology.NodeID(*src), topology.NodeID(*dst))
+}
+
+// availabilityLocked computes exact availability and estimates for the
+// path against the admitted background.
+func (s *Server) availabilityLocked(path topology.Path) (*queryResponse, error) {
+	background := s.backgroundLocked()
+	nodes, err := s.net.PathNodes(path)
+	if err != nil {
+		return nil, err
+	}
+	resp := &queryResponse{PathNodes: make([]int, 0, len(nodes)), Estimates: map[string]float64{}}
+	for _, n := range nodes {
+		resp.PathNodes = append(resp.PathNodes, int(n))
+	}
+	res, err := core.AvailableBandwidth(s.model, background, path, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if res.Status == lp.Optimal {
+		resp.Feasible = true
+		resp.Bandwidth = res.Bandwidth
+	}
+	sched, err := routing.BackgroundSchedule(s.model, background, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ps, err := estimate.PathStateFromSchedule(s.net, s.model, sched, path)
+	if err != nil {
+		return nil, err
+	}
+	ests, err := estimate.EstimateAll(s.model, ps)
+	if err != nil {
+		return nil, err
+	}
+	for m, v := range ests {
+		resp.Estimates[m.String()] = v
+	}
+	return resp, nil
+}
+
+func (s *Server) backgroundLocked() []core.Flow {
+	out := make([]core.Flow, 0, len(s.flows))
+	for id := 1; id < s.nextID; id++ {
+		if f, ok := s.flows[id]; ok {
+			out = append(out, core.Flow{Path: f.path, Demand: f.Demand})
+		}
+	}
+	return out
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return err
+	}
+	return nil
+}

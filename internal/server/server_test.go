@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// chainNetworkBody is a 5-node 100m chain (capacity 54/11 ~ 4.909 Mbps
+// end to end).
+const chainNetworkBody = `{
+  "nodes": [{"x":0,"y":0},{"x":100,"y":0},{"x":200,"y":0},{"x":300,"y":0},{"x":400,"y":0}]
+}`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url, body string) (int, map[string]interface{}) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&out); err != nil {
+		// Arrays decode separately; callers needing arrays use doJSONArray.
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, out
+}
+
+func doJSONArray(t *testing.T, method, url string) (int, []map[string]interface{}) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding array: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func install(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/network", chainNetworkBody)
+	if code != http.StatusOK {
+		t.Fatalf("install: %d %v", code, body)
+	}
+	if body["nodes"].(float64) != 5 {
+		t.Fatalf("install summary: %v", body)
+	}
+}
+
+func TestNetworkLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	// Before install: empty summary, queries rejected.
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/network", "")
+	if code != http.StatusOK || body["installed"] != false {
+		t.Fatalf("pre-install summary: %d %v", code, body)
+	}
+	code, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/query", `{"src":0,"dst":4}`)
+	if code != http.StatusConflict {
+		t.Errorf("query without network: %d, want 409", code)
+	}
+	install(t, ts)
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/network", "")
+	if code != http.StatusOK || body["installed"] != true || body["links"].(float64) != 8 {
+		t.Errorf("post-install summary: %d %v", code, body)
+	}
+}
+
+func TestQueryAvailability(t *testing.T) {
+	ts := newTestServer(t)
+	install(t, ts)
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/query", `{"src":0,"dst":4,"demandMbps":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, body)
+	}
+	if body["feasible"] != true {
+		t.Errorf("feasible = %v", body["feasible"])
+	}
+	bw := body["bandwidthMbps"].(float64)
+	if bw < 4.9 || bw > 4.92 {
+		t.Errorf("bandwidth = %v, want ~54/11", bw)
+	}
+	if body["wouldAdmit"] != true {
+		t.Errorf("wouldAdmit = %v", body["wouldAdmit"])
+	}
+	ests := body["estimates"].(map[string]interface{})
+	if len(ests) != 5 {
+		t.Errorf("estimates = %v", ests)
+	}
+	// Explicit path form.
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/query", `{"path":[0,1,2]}`)
+	if code != http.StatusOK || body["feasible"] != true {
+		t.Errorf("explicit path query: %d %v", code, body)
+	}
+}
+
+func TestFlowAdmissionAndTeardown(t *testing.T) {
+	ts := newTestServer(t)
+	install(t, ts)
+
+	// Two 2 Mbps flows fit on the 4.909 Mbps chain; a third does not.
+	var ids []int
+	for i := 0; i < 2; i++ {
+		code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/flows", `{"src":0,"dst":4,"demandMbps":2}`)
+		if code != http.StatusCreated || body["admitted"] != true {
+			t.Fatalf("flow %d: %d %v", i, code, body)
+		}
+		flow := body["flow"].(map[string]interface{})
+		ids = append(ids, int(flow["id"].(float64)))
+	}
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/flows", `{"src":0,"dst":4,"demandMbps":2}`)
+	if code != http.StatusOK || body["admitted"] != false {
+		t.Fatalf("third flow should be rejected: %d %v", code, body)
+	}
+	if body["reason"] == "" {
+		t.Error("rejection without reason")
+	}
+
+	// Listing shows both admitted flows.
+	code, list := doJSONArray(t, http.MethodGet, ts.URL+"/v1/flows")
+	if code != http.StatusOK || len(list) != 2 {
+		t.Fatalf("list: %d %v", code, list)
+	}
+
+	// Teardown frees the bandwidth: the third flow now fits.
+	code, _ = doJSON(t, http.MethodDelete, fmt.Sprintf("%s/v1/flows/%d", ts.URL, ids[0]), "")
+	if code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/flows", `{"src":0,"dst":4,"demandMbps":2}`)
+	if code != http.StatusCreated || body["admitted"] != true {
+		t.Errorf("after teardown the flow should fit: %d %v", code, body)
+	}
+}
+
+func TestFlowByIDErrors(t *testing.T) {
+	ts := newTestServer(t)
+	install(t, ts)
+	code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/flows/99", "")
+	if code != http.StatusNotFound {
+		t.Errorf("missing flow: %d, want 404", code)
+	}
+	code, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/flows/abc", "")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad id: %d, want 400", code)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	install(t, ts)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodPost, "/v1/query", `{not json`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/query", `{"unknown":1}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/query", `{}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/query", `{"src":0,"dst":4,"metric":"bogus"}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/flows", `{"src":0,"dst":4,"demandMbps":0}`, http.StatusBadRequest},
+		{http.MethodPut, "/v1/network", `{"nodes":[]}`, http.StatusBadRequest},
+		{http.MethodDelete, "/v1/network", ``, http.StatusMethodNotAllowed},
+		{http.MethodDelete, "/v1/flows", ``, http.StatusMethodNotAllowed},
+		{http.MethodPut, "/v1/query", `{}`, http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		code, _ := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("%s %s: %d, want %d", tc.method, tc.path, code, tc.want)
+		}
+	}
+}
+
+func TestNetworkReplaceDropsFlows(t *testing.T) {
+	ts := newTestServer(t)
+	install(t, ts)
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/flows", `{"src":0,"dst":4,"demandMbps":1}`)
+	if code != http.StatusCreated || body["admitted"] != true {
+		t.Fatalf("admit: %d %v", code, body)
+	}
+	install(t, ts) // replace
+	code, list := doJSONArray(t, http.MethodGet, ts.URL+"/v1/flows")
+	if code != http.StatusOK || len(list) != 0 {
+		t.Errorf("flows after replace: %d %v", code, list)
+	}
+}
+
+// TestConcurrentAdmissions hammers the server with parallel admission
+// requests: the final admitted set must still be schedulable (never
+// over-admitted), proving decisions serialize correctly.
+func TestConcurrentAdmissions(t *testing.T) {
+	ts := newTestServer(t)
+	install(t, ts)
+	const workers = 8
+	var wg sync.WaitGroup
+	admitted := make([]bool, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/flows",
+				bytes.NewBufferString(`{"src":0,"dst":4,"demandMbps":2}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var body map[string]interface{}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Error(err)
+				return
+			}
+			admitted[i] = body["admitted"] == true
+		}(i)
+	}
+	wg.Wait()
+	count := 0
+	for _, ok := range admitted {
+		if ok {
+			count++
+		}
+	}
+	// The 4.909 Mbps chain fits exactly two 2 Mbps flows no matter the
+	// interleaving.
+	if count != 2 {
+		t.Errorf("admitted %d concurrent flows, want exactly 2", count)
+	}
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	install(t, ts)
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/flows", `{"src":0,"dst":4,"demandMbps":2}`)
+	if code != http.StatusCreated || body["admitted"] != true {
+		t.Fatalf("admit: %d %v", code, body)
+	}
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/schedule", "")
+	if code != http.StatusOK {
+		t.Fatalf("schedule: %d %v", code, body)
+	}
+	total := body["totalShare"].(float64)
+	if total <= 0 || total > 1 {
+		t.Errorf("totalShare = %v", total)
+	}
+	slots := body["schedule"].([]interface{})
+	if len(slots) == 0 {
+		t.Error("no slots in the schedule")
+	}
+	first := slots[0].(map[string]interface{})
+	if _, ok := first["couples"]; !ok {
+		t.Errorf("slot missing couples: %v", first)
+	}
+}
+
+func TestFairshareEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	install(t, ts)
+	// Empty fairshare before any admission.
+	code, list := doJSONArray(t, http.MethodGet, ts.URL+"/v1/fairshare")
+	if code != http.StatusOK || len(list) != 0 {
+		t.Fatalf("empty fairshare: %d %v", code, list)
+	}
+	for i := 0; i < 2; i++ {
+		code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/flows", `{"src":0,"dst":4,"demandMbps":2}`)
+		if code != http.StatusCreated || body["admitted"] != true {
+			t.Fatalf("admit %d: %d %v", i, code, body)
+		}
+	}
+	code, list = doJSONArray(t, http.MethodGet, ts.URL+"/v1/fairshare")
+	if code != http.StatusOK || len(list) != 2 {
+		t.Fatalf("fairshare: %d %v", code, list)
+	}
+	for _, e := range list {
+		share := e["fairShareMbps"].(float64)
+		// Two identical flows on the 54/11 chain: 54/22 ~ 2.4545 each.
+		if share < 2.40 || share > 2.51 {
+			t.Errorf("fair share = %v, want ~2.4545", share)
+		}
+	}
+}

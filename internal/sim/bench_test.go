@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"abw/internal/core"
+	"abw/internal/radio"
+	"abw/internal/scenario"
+	"abw/internal/topology"
+)
+
+func BenchmarkRunScheduleScenarioII(b *testing.B) {
+	s := scenario.NewScenarioII()
+	sched := paperScheduleII(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSchedule(s.Model, sched, TDMAConfig{MicroSlots: 1000, Periods: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunFlowsScenarioII(b *testing.B) {
+	s := scenario.NewScenarioII()
+	sched := paperScheduleII(s)
+	flows := []core.Flow{{Path: s.Path, Demand: 16.2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFlows(s.Model, sched, flows, TDMAConfig{MicroSlots: 1000, Periods: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSMAScenarioI(b *testing.B) {
+	s := scenario.NewScenarioI(54)
+	h := ModelHearing(s.Model, func(topology.LinkID) radio.Rate { return s.Rate })
+	links := []CSMALink{
+		{Link: s.L1, Rate: 54, OfferedMbps: 16.2},
+		{Link: s.L2, Rate: 54, OfferedMbps: 16.2},
+		{Link: s.L3, Rate: 54},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCSMA(s.Model, h, links, 100, CSMAConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package sim provides the executable side of the model: a TDMA frame
+// simulator that runs a link schedule micro-slot by micro-slot (packet
+// queues, per-hop forwarding, measured throughput and idleness), and a
+// slotted CSMA/CA simulator with binary exponential backoff used to
+// reproduce the paper's carrier-sensing observations (Scenario I). The
+// TDMA side validates that schedules produced by the LP actually deliver
+// their promised throughput; the CSMA side validates the idleness
+// measurements the distributed estimators rely on.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"abw/internal/conflict"
+	"abw/internal/core"
+	"abw/internal/schedule"
+	"abw/internal/topology"
+)
+
+// TDMAConfig configures a frame simulation.
+type TDMAConfig struct {
+	// MicroSlots is the number of micro-slots one schedule period is
+	// quantized into (default 1000).
+	MicroSlots int
+	// Periods is how many periods to run (default 10).
+	Periods int
+}
+
+func (c TDMAConfig) microSlots() int {
+	if c.MicroSlots <= 0 {
+		return 1000
+	}
+	return c.MicroSlots
+}
+
+func (c TDMAConfig) periods() int {
+	if c.Periods <= 0 {
+		return 10
+	}
+	return c.Periods
+}
+
+// TDMAReport is the outcome of a frame simulation.
+type TDMAReport struct {
+	// LinkThroughput is the measured long-run throughput per link in
+	// Mbps (bits delivered / simulated time).
+	LinkThroughput map[topology.LinkID]float64
+	// FlowDelivered is the measured end-to-end throughput of each input
+	// flow in Mbps, in input order (only set by RunFlows).
+	FlowDelivered []float64
+	// FlowDelayPeriods is the mean end-to-end delivery delay of each
+	// flow in schedule periods (only set by RunFlows; NaN when a flow
+	// delivered nothing).
+	FlowDelayPeriods []float64
+	// Periods and MicroSlots echo the configuration actually used.
+	Periods    int
+	MicroSlots int
+}
+
+// frame quantizes slot shares into micro-slot counts with the largest
+// remainder method; idle micro-slots carry slot index -1.
+func frame(sched schedule.Schedule, micro int) []int {
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	counts := make([]int, len(sched.Slots))
+	used := 0
+	rems := make([]rem, 0, len(sched.Slots))
+	for i, slot := range sched.Slots {
+		exact := slot.Share * float64(micro)
+		c := int(math.Floor(exact + 1e-9))
+		counts[i] = c
+		used += c
+		rems = append(rems, rem{idx: i, frac: exact - float64(c)})
+	}
+	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for _, r := range rems {
+		if used >= micro {
+			break
+		}
+		if r.frac > 1e-9 {
+			counts[r.idx]++
+			used++
+		}
+	}
+	timeline := make([]int, 0, micro)
+	for i, c := range counts {
+		for k := 0; k < c; k++ {
+			timeline = append(timeline, i)
+		}
+	}
+	for len(timeline) < micro {
+		timeline = append(timeline, -1)
+	}
+	return timeline
+}
+
+// RunSchedule executes a schedule and measures per-link throughput.
+// The schedule is validated against the conflict model first (pass a nil
+// model to skip validation).
+func RunSchedule(m conflict.Model, sched schedule.Schedule, cfg TDMAConfig) (*TDMAReport, error) {
+	if err := sched.Validate(m); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	micro := cfg.microSlots()
+	periods := cfg.periods()
+	timeline := frame(sched, micro)
+
+	bits := make(map[topology.LinkID]float64)
+	slotSeconds := 1.0 / float64(micro) // one period is one second
+	for p := 0; p < periods; p++ {
+		for _, si := range timeline {
+			if si < 0 {
+				continue
+			}
+			for _, cp := range sched.Slots[si].Set.Couples {
+				bits[cp.Link] += float64(cp.Rate) * slotSeconds // Mbit
+			}
+		}
+	}
+	out := &TDMAReport{
+		LinkThroughput: make(map[topology.LinkID]float64, len(bits)),
+		Periods:        periods,
+		MicroSlots:     micro,
+	}
+	total := float64(periods)
+	for l, b := range bits {
+		out.LinkThroughput[l] = b / total
+	}
+	return out, nil
+}
+
+// RunFlows executes a schedule while forwarding each flow's packets hop
+// by hop through per-link FIFO queues: every period each source injects
+// demand x period worth of traffic, each active micro-slot drains the
+// scheduled link's queue at the slot rate, and delivery is measured at
+// the last hop. It reports measured per-flow goodput and mean delivery
+// delay.
+func RunFlows(m conflict.Model, sched schedule.Schedule, flows []core.Flow, cfg TDMAConfig) (*TDMAReport, error) {
+	if err := sched.Validate(m); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("sim: no flows")
+	}
+	for i, f := range flows {
+		if len(f.Path) == 0 {
+			return nil, fmt.Errorf("sim: flow %d has empty path", i)
+		}
+		if f.Demand <= 0 {
+			return nil, fmt.Errorf("sim: flow %d has non-positive demand", i)
+		}
+	}
+	micro := cfg.microSlots()
+	periods := cfg.periods()
+	timeline := frame(sched, micro)
+	slotSeconds := 1.0 / float64(micro)
+
+	// fifo[f][h] is flow f's backlog before hop h as fluid "age
+	// buckets": each bucket records how much traffic (Mbit) was injected
+	// at which time, so delivery delay can be measured.
+	type bucket struct {
+		mbit     float64
+		injected float64 // time of injection in periods
+	}
+	fifo := make([][][]bucket, len(flows))
+	for i, f := range flows {
+		fifo[i] = make([][]bucket, len(f.Path))
+	}
+	delivered := make([]float64, len(flows))
+	delaySum := make([]float64, len(flows))
+
+	linkBits := make(map[topology.LinkID]float64)
+
+	for p := 0; p < periods; p++ {
+		// Inject one period of demand at every source.
+		for i, f := range flows {
+			fifo[i][0] = append(fifo[i][0], bucket{mbit: f.Demand, injected: float64(p)})
+		}
+		for s, si := range timeline {
+			if si < 0 {
+				continue
+			}
+			now := float64(p) + float64(s)/float64(micro)
+			for _, cp := range sched.Slots[si].Set.Couples {
+				capacity := float64(cp.Rate) * slotSeconds
+				// Drain flows crossing this link at this hop, in flow
+				// order.
+				for i, f := range flows {
+					for h, lid := range f.Path {
+						if lid != cp.Link || capacity <= 1e-15 {
+							continue
+						}
+						q := fifo[i][h]
+						for len(q) > 0 && capacity > 1e-15 {
+							take := math.Min(q[0].mbit, capacity)
+							q[0].mbit -= take
+							capacity -= take
+							linkBits[cp.Link] += take
+							if h+1 < len(f.Path) {
+								fifo[i][h+1] = append(fifo[i][h+1], bucket{mbit: take, injected: q[0].injected})
+							} else {
+								delivered[i] += take
+								delaySum[i] += take * (now - q[0].injected)
+							}
+							if q[0].mbit <= 1e-15 {
+								q = q[1:]
+							}
+						}
+						fifo[i][h] = q
+					}
+				}
+			}
+		}
+	}
+
+	out := &TDMAReport{
+		LinkThroughput:   make(map[topology.LinkID]float64, len(linkBits)),
+		FlowDelivered:    make([]float64, len(flows)),
+		FlowDelayPeriods: make([]float64, len(flows)),
+		Periods:          periods,
+		MicroSlots:       micro,
+	}
+	total := float64(periods)
+	for l, b := range linkBits {
+		out.LinkThroughput[l] = b / total
+	}
+	for i := range flows {
+		out.FlowDelivered[i] = delivered[i] / total
+		if delivered[i] > 0 {
+			out.FlowDelayPeriods[i] = delaySum[i] / delivered[i]
+		} else {
+			out.FlowDelayPeriods[i] = math.NaN()
+		}
+	}
+	return out, nil
+}
+
+// MeasuredNodeIdle runs the schedule's frame and measures each node's
+// carrier-sensed idle fraction micro-slot by micro-slot — the empirical
+// counterpart of estimate.NodeIdleRatios, matching it up to
+// quantization error.
+func MeasuredNodeIdle(net *topology.Network, sched schedule.Schedule, cfg TDMAConfig) ([]float64, error) {
+	if err := sched.Validate(nil); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	micro := cfg.microSlots()
+	timeline := frame(sched, micro)
+	prof := net.Profile()
+	nodes := net.Nodes()
+	idleSlots := make([]int, len(nodes))
+	for _, si := range timeline {
+		for i, n := range nodes {
+			busy := false
+			if si >= 0 {
+				for _, cp := range sched.Slots[si].Set.Couples {
+					link, err := net.Link(cp.Link)
+					if err != nil {
+						return nil, fmt.Errorf("sim: %w", err)
+					}
+					if link.Tx == n.ID || link.Rx == n.ID {
+						busy = true
+						break
+					}
+					tx, err := net.Node(link.Tx)
+					if err != nil {
+						return nil, fmt.Errorf("sim: %w", err)
+					}
+					if prof.Senses(tx.Pos.Dist(n.Pos)) {
+						busy = true
+						break
+					}
+				}
+			}
+			if !busy {
+				idleSlots[i]++
+			}
+		}
+	}
+	out := make([]float64, len(nodes))
+	for i, c := range idleSlots {
+		out[i] = float64(c) / float64(micro)
+	}
+	return out, nil
+}

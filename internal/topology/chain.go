@@ -1,0 +1,30 @@
+package topology
+
+import (
+	"fmt"
+
+	"abw/internal/geom"
+	"abw/internal/radio"
+)
+
+// Chain builds an (hops+1)-node line network with the given node spacing
+// in meters and returns it together with the forward path over its hops.
+// Chain topologies are the paper's Scenario I/II substrate (Fig. 1).
+func Chain(profile *radio.Profile, hops int, spacing float64) (*Network, Path, error) {
+	if hops < 1 {
+		return nil, nil, fmt.Errorf("topology: chain needs at least one hop, got %d", hops)
+	}
+	net, err := New(profile, geom.LinePoints(hops+1, spacing))
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := make([]NodeID, 0, hops+1)
+	for i := 0; i <= hops; i++ {
+		nodes = append(nodes, NodeID(i))
+	}
+	path, err := net.PathFromNodes(nodes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("topology: chain spacing %.1fm exceeds radio range: %w", spacing, err)
+	}
+	return net, path, nil
+}

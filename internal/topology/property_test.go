@@ -1,0 +1,125 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"abw/internal/geom"
+	"abw/internal/radio"
+)
+
+// TestRandomNetworkInvariants checks structural invariants over many
+// random draws: link symmetry (same distance both ways), rate
+// consistency with the profile, and adjacency index integrity.
+func TestRandomNetworkInvariants(t *testing.T) {
+	prof := radio.NewProfile80211a()
+	for seed := int64(1); seed <= 10; seed++ {
+		net, err := Random(prof, geom.Rect{W: 300, H: 300}, 12, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range net.Links() {
+			// Every link's rate must match the profile at its distance.
+			wantRate, ok := prof.MaxRateAtDistance(l.Dist)
+			if !ok || wantRate != l.MaxRate {
+				t.Errorf("seed %d link %d: rate %v, profile says (%v,%v)", seed, l.ID, l.MaxRate, wantRate, ok)
+			}
+			// The reverse link must exist with the same distance and rate.
+			revID, ok := net.LinkBetween(l.Rx, l.Tx)
+			if !ok {
+				t.Errorf("seed %d: link %d has no reverse", seed, l.ID)
+				continue
+			}
+			rev := net.MustLink(revID)
+			if rev.Dist != l.Dist || rev.MaxRate != l.MaxRate {
+				t.Errorf("seed %d: reverse of link %d differs: %v vs %v", seed, l.ID, rev, l)
+			}
+			// Adjacency indexes must contain the link.
+			if !containsLink(net.OutLinks(l.Tx), l.ID) {
+				t.Errorf("seed %d: link %d missing from OutLinks(%d)", seed, l.ID, l.Tx)
+			}
+			if !containsLink(net.InLinks(l.Rx), l.ID) {
+				t.Errorf("seed %d: link %d missing from InLinks(%d)", seed, l.ID, l.Rx)
+			}
+		}
+		// Degrees sum to the link count, both directions.
+		outSum, inSum := 0, 0
+		for _, n := range net.Nodes() {
+			outSum += len(net.OutLinks(n.ID))
+			inSum += len(net.InLinks(n.ID))
+		}
+		if outSum != net.NumLinks() || inSum != net.NumLinks() {
+			t.Errorf("seed %d: degree sums (%d out, %d in) != %d links", seed, outSum, inSum, net.NumLinks())
+		}
+	}
+}
+
+// TestMutatedCopiesAreIndependent verifies the copy-at-boundary
+// contract: mutating returned slices must not corrupt the network.
+func TestMutatedCopiesAreIndependent(t *testing.T) {
+	net, _, err := Chain(radio.NewProfile80211a(), 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := net.Links()
+	links[0].MaxRate = 999
+	if net.MustLink(links[0].ID).MaxRate == 999 {
+		t.Error("mutating Links() result corrupted the network")
+	}
+	nodes := net.Nodes()
+	nodes[0].Pos.X = 1e9
+	fresh, err := net.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Pos.X == 1e9 {
+		t.Error("mutating Nodes() result corrupted the network")
+	}
+	out := net.OutLinks(0)
+	if len(out) > 0 {
+		out[0] = LinkID(12345)
+		if net.OutLinks(0)[0] == LinkID(12345) {
+			t.Error("mutating OutLinks() result corrupted the adjacency")
+		}
+	}
+}
+
+// TestLinkUnionProperties fuzzes LinkUnion: sorted, deduplicated,
+// complete.
+func TestLinkUnionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		var paths []Path
+		want := map[LinkID]bool{}
+		for p := 0; p < 1+rng.Intn(4); p++ {
+			var path Path
+			for l := 0; l < rng.Intn(6); l++ {
+				id := LinkID(rng.Intn(10))
+				path = append(path, id)
+				want[id] = true
+			}
+			paths = append(paths, path)
+		}
+		got := LinkUnion(paths...)
+		if len(got) != len(want) {
+			t.Errorf("trial %d: union size %d, want %d", trial, len(got), len(want))
+		}
+		for i, id := range got {
+			if !want[id] {
+				t.Errorf("trial %d: unexpected link %d", trial, id)
+			}
+			if i > 0 && got[i-1] >= id {
+				t.Errorf("trial %d: union not strictly sorted at %d", trial, i)
+			}
+		}
+	}
+}
+
+func containsLink(ids []LinkID, id LinkID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

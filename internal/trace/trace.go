@@ -1,0 +1,65 @@
+// Package trace generates the evaluation workloads: random
+// source-destination flow requests over a topology (the paper's Sec. 5.2
+// uses 8 random flows of 2 Mbps each) and demand sweeps for the
+// estimator experiments.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"abw/internal/graph"
+	"abw/internal/routing"
+	"abw/internal/topology"
+)
+
+// RandomRequests draws n flow requests with distinct, mutually routable
+// endpoints: src != dst and a path exists. It errors when the topology
+// cannot host n such pairs within a bounded number of draws.
+func RandomRequests(net *topology.Network, rng *rand.Rand, n int, demand float64) ([]routing.Request, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: n must be positive, got %d", n)
+	}
+	if demand <= 0 {
+		return nil, fmt.Errorf("trace: demand must be positive, got %g", demand)
+	}
+	numNodes := net.NumNodes()
+	if numNodes < 2 {
+		return nil, fmt.Errorf("trace: network has %d nodes, need at least 2", numNodes)
+	}
+	out := make([]routing.Request, 0, n)
+	usedPair := make(map[[2]topology.NodeID]bool, n)
+	maxTries := 200 * n
+	for tries := 0; len(out) < n; tries++ {
+		if tries >= maxTries {
+			return nil, fmt.Errorf("trace: placed only %d of %d routable flow pairs after %d draws", len(out), n, maxTries)
+		}
+		src := topology.NodeID(rng.Intn(numNodes))
+		dst := topology.NodeID(rng.Intn(numNodes))
+		if src == dst || usedPair[[2]topology.NodeID{src, dst}] {
+			continue
+		}
+		if _, _, err := graph.ShortestPath(net, src, dst, graph.HopWeight); err != nil {
+			continue
+		}
+		usedPair[[2]topology.NodeID{src, dst}] = true
+		out = append(out, routing.Request{Src: src, Dst: dst, Demand: demand})
+	}
+	return out, nil
+}
+
+// DemandSweep returns copies of the requests scaled to each demand in
+// the sweep — the knob for pushing the Fig. 4 experiment from light to
+// heavy background load.
+func DemandSweep(reqs []routing.Request, demands []float64) [][]routing.Request {
+	out := make([][]routing.Request, 0, len(demands))
+	for _, d := range demands {
+		scaled := make([]routing.Request, len(reqs))
+		copy(scaled, reqs)
+		for i := range scaled {
+			scaled[i].Demand = d
+		}
+		out = append(out, scaled)
+	}
+	return out
+}

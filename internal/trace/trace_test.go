@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"abw/internal/geom"
+	"abw/internal/graph"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+func testNet(t *testing.T) *topology.Network {
+	t.Helper()
+	net, err := topology.Random(radio.NewProfile80211a(), geom.Rect{W: 400, H: 600}, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRandomRequests(t *testing.T) {
+	net := testNet(t)
+	rng := rand.New(rand.NewSource(2))
+	reqs, err := RandomRequests(net, rng, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 8 {
+		t.Fatalf("got %d requests, want 8", len(reqs))
+	}
+	seen := map[[2]topology.NodeID]bool{}
+	for i, r := range reqs {
+		if r.Src == r.Dst {
+			t.Errorf("request %d has src == dst", i)
+		}
+		if r.Demand != 2 {
+			t.Errorf("request %d demand = %g", i, r.Demand)
+		}
+		key := [2]topology.NodeID{r.Src, r.Dst}
+		if seen[key] {
+			t.Errorf("request %d duplicates pair %v", i, key)
+		}
+		seen[key] = true
+		if _, _, err := graph.ShortestPath(net, r.Src, r.Dst, graph.HopWeight); err != nil {
+			t.Errorf("request %d endpoints not routable: %v", i, err)
+		}
+	}
+}
+
+func TestRandomRequestsDeterministic(t *testing.T) {
+	net := testNet(t)
+	a, err := RandomRequests(net, rand.New(rand.NewSource(9)), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRequests(net, rand.New(rand.NewSource(9)), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestRandomRequestsValidation(t *testing.T) {
+	net := testNet(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomRequests(net, rng, 0, 2); err == nil {
+		t.Error("n=0: expected error")
+	}
+	if _, err := RandomRequests(net, rng, 3, 0); err == nil {
+		t.Error("zero demand: expected error")
+	}
+	single, err := topology.New(radio.NewProfile80211a(), []geom.Point{{X: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomRequests(single, rng, 1, 2); err == nil {
+		t.Error("one-node network: expected error")
+	}
+	// Two disconnected nodes: no routable pair exists.
+	split, err := topology.New(radio.NewProfile80211a(), []geom.Point{{X: 0}, {X: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomRequests(split, rng, 1, 2); err == nil {
+		t.Error("disconnected network: expected error")
+	}
+}
+
+func TestDemandSweep(t *testing.T) {
+	net := testNet(t)
+	reqs, err := RandomRequests(net, rand.New(rand.NewSource(3)), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := DemandSweep(reqs, []float64{0.5, 1, 4})
+	if len(sweep) != 3 {
+		t.Fatalf("sweep length %d, want 3", len(sweep))
+	}
+	for i, d := range []float64{0.5, 1, 4} {
+		for j, r := range sweep[i] {
+			if r.Demand != d {
+				t.Errorf("sweep[%d][%d] demand = %g, want %g", i, j, r.Demand, d)
+			}
+			if r.Src != reqs[j].Src || r.Dst != reqs[j].Dst {
+				t.Errorf("sweep[%d][%d] endpoints changed", i, j)
+			}
+		}
+	}
+	// Originals untouched.
+	for j, r := range reqs {
+		if r.Demand != 2 {
+			t.Errorf("original request %d mutated to %g", j, r.Demand)
+		}
+	}
+}

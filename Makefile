@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race bench bench-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run with allocation stats.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick smoke pass over every benchmark: one iteration each, -short, so
+# CI notices a benchmark that panics or regresses into an error path
+# without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -short -run=^$$ -bench=. -benchtime=1x ./...
+
+# The gate run in CI: vet + build + race tests + benchmark smoke.
+check: vet build race bench-smoke

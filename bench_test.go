@@ -14,6 +14,7 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl, err := experiments.Run(id)
 		if err != nil {
@@ -79,6 +80,7 @@ func BenchmarkAvailableBandwidthQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	bg := []Flow{{Path: path, Demand: 2}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sys.AvailableBandwidth(bg, path)
@@ -107,6 +109,7 @@ func BenchmarkEstimateConservative(b *testing.B) {
 		b.Fatal(err)
 	}
 	bg := []Flow{{Path: short, Demand: 3}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Estimate(EstimateConservativeClique, bg, path); err != nil {

@@ -49,6 +49,30 @@ type Model interface {
 	Rates(link topology.LinkID) []radio.Rate
 }
 
+// PairwiseModel is implemented by models whose feasibility decomposes
+// into independent pairwise constraints between couples: a rate r of a
+// link is usable in a concurrent set exactly when RateClears(link, r, y)
+// holds for every other couple y in the set, so that
+//
+//	MaxRate(link, concurrent) == max{r in Rates(link) :
+//	        RateClears(link, r, y) for every y in concurrent, y.Link != link}
+//
+// (or 0 when no rate clears). Table and Protocol satisfy this; Physical
+// does not — its cumulative interference sum couples all members at
+// once. Enumeration exploits the decomposition to check feasibility
+// incrementally: only the newly added couple needs to be tested against
+// the current members.
+type PairwiseModel interface {
+	Model
+
+	// RateClears reports whether link can transmit at rate r while the
+	// single couple other transmits concurrently. Half-duplex node
+	// exclusivity, where the model enforces it, must be folded in
+	// (report false for every rate). Couples on link itself are never
+	// passed.
+	RateClears(link topology.LinkID, r radio.Rate, other Couple) bool
+}
+
 // Feasible reports whether all couples can transmit concurrently: every
 // couple's rate must be within the maximum rate the model allows it given
 // the others (the paper's independent-set condition, Sec. 2.4). Sets

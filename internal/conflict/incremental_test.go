@@ -1,0 +1,187 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// pairwiseMaxRate recomputes MaxRate through the PairwiseModel contract:
+// the highest declared rate that clears every concurrent couple
+// individually. The decomposition must agree with the model's own
+// MaxRate on every input — that is what licenses the bitmask
+// enumeration walk in internal/indepset.
+func pairwiseMaxRate(m PairwiseModel, link topology.LinkID, concurrent []Couple) radio.Rate {
+	for _, r := range m.Rates(link) { // descending
+		clear := true
+		for _, c := range concurrent {
+			if c.Link == link {
+				continue
+			}
+			if !m.RateClears(link, r, c) {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			return r
+		}
+	}
+	return 0
+}
+
+// randomCouples draws a random concurrent set over the given links.
+func randomCouples(rng *rand.Rand, m Model, links []topology.LinkID) []Couple {
+	var out []Couple
+	for _, l := range links {
+		rs := m.Rates(l)
+		if len(rs) == 0 || rng.Float64() < 0.5 {
+			continue
+		}
+		out = append(out, Couple{Link: l, Rate: rs[rng.Intn(len(rs))]})
+	}
+	return out
+}
+
+func assertPairwiseDecomposition(t *testing.T, m PairwiseModel, links []topology.LinkID, label string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		concurrent := randomCouples(rng, m, links)
+		for _, l := range links {
+			got := m.MaxRate(l, concurrent)
+			want := pairwiseMaxRate(m, l, concurrent)
+			if got != want {
+				t.Fatalf("%s: MaxRate(%d, %v) = %v, pairwise decomposition gives %v",
+					label, l, concurrent, got, want)
+			}
+		}
+	}
+}
+
+func TestProtocolPairwiseDecomposition(t *testing.T) {
+	net, links := chainNet(t, 7, 90)
+	assertPairwiseDecomposition(t, NewProtocol(net), links, "protocol chain")
+}
+
+func TestTablePairwiseDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rates := []radio.Rate{54, 36, 18, 6}
+	tb := NewTable()
+	var links []topology.LinkID
+	const n = 6
+	for i := topology.LinkID(0); i < n; i++ {
+		tb.SetRates(i, rates[:1+rng.Intn(len(rates))]...)
+		links = append(links, i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for _, ri := range tb.Rates(topology.LinkID(i)) {
+				for _, rj := range tb.Rates(topology.LinkID(j)) {
+					if rng.Float64() < 0.4 {
+						if err := tb.AddConflict(topology.LinkID(i), ri, topology.LinkID(j), rj); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+	}
+	assertPairwiseDecomposition(t, tb, links, "random table")
+}
+
+// TestSetTrackerMatchesMaxRate walks every subset of a chain's links
+// with the incremental tracker and checks, at each DFS node, that the
+// running-sum rates agree *exactly* (bit-for-bit, not approximately)
+// with the from-scratch Physical.MaxRate — including the predictive
+// MaxRateJoined used for in-DFS link-maximality.
+func TestSetTrackerMatchesMaxRate(t *testing.T) {
+	net, links := chainNet(t, 6, 100)
+	m := NewPhysical(net)
+	tr := m.NewSetTracker(links)
+	n := len(links)
+
+	var members []int
+	couples := func() []Couple {
+		out := make([]Couple, 0, len(members))
+		for _, mi := range members {
+			// Physical.MaxRate only reads couple links, so any positive
+			// rate stands in.
+			out = append(out, Couple{Link: links[mi], Rate: 6})
+		}
+		return out
+	}
+	checked := 0
+	var rec func(start int)
+	rec = func(start int) {
+		cs := couples()
+		inSet := make([]bool, n)
+		for _, mi := range members {
+			inSet[mi] = true
+		}
+		for i := 0; i < n; i++ {
+			fresh := m.MaxRate(links[i], cs)
+			if got := tr.MaxRate(i); got != fresh {
+				t.Fatalf("members %v: tracker MaxRate(%d) = %v, fresh = %v", members, i, got, fresh)
+			}
+			for j := 0; j < n; j++ {
+				if i == j || inSet[j] {
+					continue
+				}
+				freshJoined := m.MaxRate(links[i], append(cs, Couple{Link: links[j], Rate: 6}))
+				if got := tr.MaxRateJoined(i, j); got != freshJoined {
+					t.Fatalf("members %v: tracker MaxRateJoined(%d,%d) = %v, fresh = %v",
+						members, i, j, got, freshJoined)
+				}
+			}
+			checked++
+		}
+		for i := start; i < n; i++ {
+			tr.Push(i)
+			members = append(members, i)
+			rec(i + 1)
+			members = members[:len(members)-1]
+			tr.Pop()
+		}
+	}
+	rec(0)
+	if checked == 0 {
+		t.Fatal("walk checked nothing")
+	}
+}
+
+// TestMaxRateVectorMatchesMaxRate pins the one-shot wrapper to the
+// from-scratch model on chains of varying contention.
+func TestMaxRateVectorMatchesMaxRate(t *testing.T) {
+	for _, spacing := range []float64{60, 100, 150} {
+		net, links := chainNet(t, 5, spacing)
+		m := NewPhysical(net)
+		for mask := 1; mask < 1<<len(links); mask++ {
+			var sub []topology.LinkID
+			var cs []Couple
+			for i, l := range links {
+				if mask&(1<<i) != 0 {
+					sub = append(sub, l)
+					cs = append(cs, Couple{Link: l, Rate: 6})
+				}
+			}
+			rates, ok := m.MaxRateVector(sub)
+			allOK := true
+			for i, l := range sub {
+				fresh := m.MaxRate(l, cs)
+				if rates[i] != fresh {
+					t.Fatalf("spacing %g, set %v: vector[%d] = %v, fresh MaxRate = %v",
+						spacing, sub, i, rates[i], fresh)
+				}
+				if fresh == 0 {
+					allOK = false
+				}
+			}
+			if ok != allOK {
+				t.Fatalf("spacing %g, set %v: ok = %v, want %v", spacing, sub, ok, allOK)
+			}
+		}
+	}
+}

@@ -128,30 +128,190 @@ func (p *Physical) Rates(link topology.LinkID) []radio.Rate {
 	return out
 }
 
+// MinPositiveRate returns the smallest positive rate the link may use
+// (the weakest couple it can ever join an independent set with), or 0
+// when it is unusable. Equivalent to the last positive entry of Rates
+// without materializing the slice.
+func (p *Physical) MinPositiveRate(link topology.LinkID) radio.Rate {
+	l, err := p.net.Link(link)
+	if err != nil {
+		return 0
+	}
+	prof := p.net.Profile()
+	var min radio.Rate
+	for i := 0; i < prof.NumClasses(); i++ {
+		if r := prof.Class(i).Rate; r > 0 && r <= l.MaxRate {
+			min = r // descending: the last hit is the smallest
+		}
+	}
+	return min
+}
+
 // MaxRateVector returns the maximum supported rate vector of a concurrent
 // transmission set (paper Sec. 2.3): the i-th entry is the highest rate
 // links[i] sustains while all the other listed links transmit. The
 // second return is false if any link in the set cannot transmit at all
 // (the set is not an independent set).
 func (p *Physical) MaxRateVector(links []topology.LinkID) ([]radio.Rate, bool) {
-	couples := make([]Couple, 0, len(links))
-	for _, id := range links {
-		// Rates are irrelevant to Physical interference; use 0 markers.
-		couples = append(couples, Couple{Link: id})
+	t := p.NewSetTracker(links)
+	for i := range links {
+		t.Push(i)
 	}
 	rates := make([]radio.Rate, len(links))
 	ok := true
-	for i, id := range links {
-		others := make([]Couple, 0, len(couples)-1)
-		for j, c := range couples {
-			if j != i {
-				others = append(others, c)
-			}
-		}
-		rates[i] = p.MaxRate(id, others)
+	for i := range links {
+		rates[i] = t.MaxRate(i)
 		if rates[i] == 0 {
 			ok = false
 		}
 	}
 	return rates, ok
+}
+
+// SetTracker incrementally evaluates maximum supported rates of a
+// growing and shrinking concurrent transmission set over a fixed link
+// universe. Because transmit powers are fixed, the interference power a
+// set deposits at each receiver is a plain sum over its members
+// (Eq. 3), so a DFS over subsets can maintain one running sum per
+// receiver across Push/Pop instead of recomputing the O(L^2) total at
+// every node. Enumeration (internal/indepset) drives this; MaxRateVector
+// is the one-shot wrapper.
+//
+// Positions index into the universe passed to NewSetTracker. Push order
+// defines the summation order, matching MaxRate's couple order, so the
+// tracker is bit-for-bit consistent with the non-incremental path.
+type SetTracker struct {
+	noise float64
+	// Per universe position, in universe order:
+	signal  []float64
+	interf  [][]float64 // interf[from][at], 0 on the diagonal
+	shares  [][]bool    // half-duplex node sharing (false for identical IDs)
+	thr     [][]float64 // linear SINR thresholds of decodable classes, descending rate
+	thrRate [][]radio.Rate
+	// DFS state:
+	sums    []float64   // interference at each position from current members
+	saved   [][]float64 // sums snapshot per depth, restored on Pop
+	blocked []int       // members sharing a node with this position
+	members []int
+}
+
+// NewSetTracker builds a tracker over the given universe with an empty
+// member set. Unresolvable link IDs never support any rate.
+func (p *Physical) NewSetTracker(universe []topology.LinkID) *SetTracker {
+	n := len(universe)
+	prof := p.net.Profile()
+	nc := prof.NumClasses()
+	// Flat backing arrays keep the per-enumeration allocation count
+	// constant instead of O(n).
+	fback := make([]float64, 2*n*n+n*nc+2*n)
+	hback := make([][]float64, 3*n)
+	bback := make([]bool, n*n)
+	rback := make([]radio.Rate, n*nc)
+	t := &SetTracker{
+		noise:   prof.Noise(),
+		signal:  fback[2*n*n+n*nc : 2*n*n+n*nc+n],
+		interf:  hback[:n],
+		shares:  make([][]bool, n),
+		thr:     hback[2*n : 3*n],
+		thrRate: make([][]radio.Rate, n),
+		sums:    fback[2*n*n+n*nc+n:],
+		saved:   hback[n : 2*n],
+		blocked: make([]int, n),
+		members: make([]int, 0, n),
+	}
+	links := make([]topology.Link, n)
+	valid := make([]bool, n)
+	for i, id := range universe {
+		l, err := p.net.Link(id)
+		links[i], valid[i] = l, err == nil
+		t.signal[i] = p.SignalPower(id)
+		// Classes whose sensitivity the receiver meets; the SINR check is
+		// the only interference-dependent part left for MaxRate.
+		t.thr[i] = fback[2*n*n+i*nc : 2*n*n+i*nc : 2*n*n+(i+1)*nc]
+		t.thrRate[i] = rback[i*nc : i*nc : (i+1)*nc]
+		for k := 0; k < nc; k++ {
+			c := prof.Class(k)
+			sens, _ := prof.Sensitivity(c.Rate)
+			if valid[i] && t.signal[i] >= sens {
+				sinr, _ := prof.SINRThreshold(c.Rate)
+				t.thr[i] = append(t.thr[i], sinr)
+				t.thrRate[i] = append(t.thrRate[i], c.Rate)
+			}
+		}
+	}
+	for a, ida := range universe {
+		t.interf[a] = fback[a*n : (a+1)*n]
+		t.saved[a] = fback[(n+a)*n : (n+a+1)*n]
+		t.shares[a] = bback[a*n : (a+1)*n]
+		for b, idb := range universe {
+			t.interf[a][b] = p.InterferencePower(ida, idb)
+			// Duplicate positions of one link ignore each other, like
+			// MaxRate ignores couples on the queried link itself.
+			t.shares[a][b] = ida != idb && valid[a] && valid[b] && SharesNode(links[a], links[b])
+		}
+	}
+	return t
+}
+
+// Push adds universe position i to the member set.
+func (t *SetTracker) Push(i int) {
+	d := len(t.members)
+	copy(t.saved[d], t.sums)
+	row := t.interf[i]
+	for j := range t.sums {
+		t.sums[j] += row[j]
+	}
+	for j, s := range t.shares[i] {
+		if s {
+			t.blocked[j]++
+		}
+	}
+	t.members = append(t.members, i)
+}
+
+// Pop removes the most recently pushed member.
+func (t *SetTracker) Pop() {
+	d := len(t.members) - 1
+	i := t.members[d]
+	t.members = t.members[:d]
+	// Restoring the snapshot (rather than subtracting) keeps the sums
+	// bit-identical to a fresh summation in push order.
+	copy(t.sums, t.saved[d])
+	for j, s := range t.shares[i] {
+		if s {
+			t.blocked[j]--
+		}
+	}
+}
+
+// Depth returns the number of members currently pushed.
+func (t *SetTracker) Depth() int { return len(t.members) }
+
+// MaxRate returns the maximum rate universe position i sustains
+// alongside the current members (i's own membership is ignored), or 0
+// when it is half-duplex blocked or no rate's SINR survives.
+func (t *SetTracker) MaxRate(i int) radio.Rate {
+	if t.blocked[i] > 0 {
+		return 0
+	}
+	return t.rateAt(i, t.sums[i])
+}
+
+// MaxRateJoined returns the maximum rate position i would sustain if
+// position j (not currently a member) also transmitted.
+func (t *SetTracker) MaxRateJoined(i, j int) radio.Rate {
+	if t.blocked[i] > 0 || t.shares[i][j] {
+		return 0
+	}
+	return t.rateAt(i, t.sums[i]+t.interf[j][i])
+}
+
+func (t *SetTracker) rateAt(i int, interference float64) radio.Rate {
+	sinr := t.signal[i] / (interference + t.noise)
+	for k, thr := range t.thr[i] {
+		if sinr >= thr {
+			return t.thrRate[i][k]
+		}
+	}
+	return 0
 }

@@ -24,7 +24,7 @@ type Protocol struct {
 	net *topology.Network
 }
 
-var _ Model = (*Protocol)(nil)
+var _ PairwiseModel = (*Protocol)(nil)
 
 // NewProtocol builds a Protocol model over the given network.
 func NewProtocol(net *topology.Network) *Protocol {
@@ -84,6 +84,26 @@ func (p *Protocol) MaxRate(link topology.LinkID, concurrent []Couple) radio.Rate
 		}
 	}
 	return 0
+}
+
+// RateClears implements PairwiseModel: rate r of link survives the other
+// couple exactly when the two links share no node and the other
+// transmitter sits outside link's interference radius at r. The distance
+// comparison is the same one MaxRate performs, so the two stay
+// bit-for-bit consistent.
+func (p *Protocol) RateClears(link topology.LinkID, r radio.Rate, other Couple) bool {
+	self, err := p.net.Link(link)
+	if err != nil {
+		return false
+	}
+	o, err := p.net.Link(other.Link)
+	if err != nil {
+		return false
+	}
+	if SharesNode(self, o) {
+		return false
+	}
+	return mustNodeDist(p.net, o.Tx, self.Rx) > p.interferenceRadius(self.Dist, r)
 }
 
 // Rates implements Model.

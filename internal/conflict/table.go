@@ -20,7 +20,7 @@ type Table struct {
 	conflicts map[pairKey]bool
 }
 
-var _ Model = (*Table)(nil)
+var _ PairwiseModel = (*Table)(nil)
 
 type coupleKey struct {
 	link topology.LinkID
@@ -107,6 +107,12 @@ func (t *Table) MaxRate(link topology.LinkID, concurrent []Couple) radio.Rate {
 		}
 	}
 	return 0
+}
+
+// RateClears implements PairwiseModel: a rate of link is usable against
+// another couple exactly when no conflict was declared between them.
+func (t *Table) RateClears(link topology.LinkID, r radio.Rate, other Couple) bool {
+	return !t.HasConflict(link, r, other.Link, other.Rate)
 }
 
 // Rates implements Model.

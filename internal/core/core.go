@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"abw/internal/conflict"
 	"abw/internal/indepset"
@@ -147,10 +148,8 @@ func solveWithSets(m conflict.Model, background []Flow, newPath topology.Path, u
 	newCount := linkCount(newPath)
 
 	prob := lp.NewProblem(lp.Maximize)
-	lambdas := make([]lp.Var, len(sets))
-	for i, s := range sets {
-		lambdas[i] = prob.AddVar(fmt.Sprintf("lambda[%s]", s.Key()), 0)
-	}
+	prob.Reserve(len(sets)+1, len(universe)+1)
+	lambdas := addLambdaVars(prob, sets, 0)
 	f := prob.AddVar("f", 1)
 
 	// Total share within one period.
@@ -159,27 +158,23 @@ func solveWithSets(m conflict.Model, background []Flow, newPath topology.Path, u
 		shareRow[v] = 1
 	}
 	if len(shareRow) > 0 {
-		if err := prob.AddConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+		if err := prob.AddOwnedConstraint("total-share", shareRow, lp.LE, 1); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
 
 	// Per-link throughput covers background demand plus f on the new
 	// path.
-	for _, link := range universe {
-		row := make(map[lp.Var]float64)
-		for i, s := range sets {
-			if r := s.Rate(link); r > 0 {
-				row[lambdas[i]] = float64(r)
-			}
-		}
+	rows := lambdaRows(universe, sets, lambdas)
+	for li, link := range universe {
+		row := rows[li]
 		if c := newCount[link]; c > 0 {
 			row[f] = -float64(c)
 		}
 		if len(row) == 0 && demand[link] <= 0 {
 			continue
 		}
-		if err := prob.AddConstraint(fmt.Sprintf("link-%d", link), row, lp.GE, demand[link]); err != nil {
+		if err := prob.AddOwnedConstraint(linkConsName(link), row, lp.GE, demand[link]); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
@@ -229,31 +224,27 @@ func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedu
 	// deliverability).
 	demand := linkDemand(flows)
 	prob := lp.NewProblem(lp.Maximize)
-	lambdas := make([]lp.Var, len(sets))
+	prob.Reserve(len(sets), len(universe)+1)
+	lambdas := addLambdaVars(prob, sets, -1)
 	shareRow := make(map[lp.Var]float64, len(sets))
-	for i, s := range sets {
-		lambdas[i] = prob.AddVar(fmt.Sprintf("lambda[%s]", s.Key()), -1)
-		shareRow[lambdas[i]] = 1
+	for _, v := range lambdas {
+		shareRow[v] = 1
 	}
 	if len(shareRow) > 0 {
-		if err := prob.AddConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+		if err := prob.AddOwnedConstraint("total-share", shareRow, lp.LE, 1); err != nil {
 			return false, schedule.Schedule{}, fmt.Errorf("core: %w", err)
 		}
 	}
-	for _, link := range universe {
+	rows := lambdaRows(universe, sets, lambdas)
+	for li, link := range universe {
 		if demand[link] <= 0 {
 			continue
 		}
-		row := make(map[lp.Var]float64)
-		for i, s := range sets {
-			if r := s.Rate(link); r > 0 {
-				row[lambdas[i]] = float64(r)
-			}
-		}
+		row := rows[li]
 		if len(row) == 0 {
 			return false, schedule.Schedule{}, nil // demanded link can never transmit
 		}
-		if err := prob.AddConstraint(fmt.Sprintf("link-%d", link), row, lp.GE, demand[link]); err != nil {
+		if err := prob.AddOwnedConstraint(linkConsName(link), row, lp.GE, demand[link]); err != nil {
 			return false, schedule.Schedule{}, fmt.Errorf("core: %w", err)
 		}
 	}
@@ -317,32 +308,28 @@ func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options)
 	}
 
 	prob := lp.NewProblem(lp.Maximize)
-	lambdas := make([]lp.Var, len(sets))
+	prob.Reserve(len(sets)+1, len(universe)+1)
+	lambdas := addLambdaVars(prob, sets, 0)
 	shareRow := make(map[lp.Var]float64, len(sets))
-	for i, s := range sets {
-		lambdas[i] = prob.AddVar(fmt.Sprintf("lambda[%s]", s.Key()), 0)
-		shareRow[lambdas[i]] = 1
+	for _, v := range lambdas {
+		shareRow[v] = 1
 	}
 	theta := prob.AddVar("theta", 1)
 	if len(shareRow) > 0 {
-		if err := prob.AddConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+		if err := prob.AddOwnedConstraint("total-share", shareRow, lp.LE, 1); err != nil {
 			return 0, schedule.Schedule{}, fmt.Errorf("core: %w", err)
 		}
 	}
-	for _, link := range universe {
-		row := make(map[lp.Var]float64)
-		for i, s := range sets {
-			if r := s.Rate(link); r > 0 {
-				row[lambdas[i]] = float64(r)
-			}
-		}
+	rows := lambdaRows(universe, sets, lambdas)
+	for li, link := range universe {
+		row := rows[li]
 		if c := thetaCoef[link]; c > 0 {
 			row[theta] = -c
 		}
 		if len(row) == 0 && bgDemand[link] <= 0 {
 			continue
 		}
-		if err := prob.AddConstraint(fmt.Sprintf("link-%d", link), row, lp.GE, bgDemand[link]); err != nil {
+		if err := prob.AddOwnedConstraint(linkConsName(link), row, lp.GE, bgDemand[link]); err != nil {
 			return 0, schedule.Schedule{}, fmt.Errorf("core: %w", err)
 		}
 	}
@@ -360,6 +347,65 @@ func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options)
 		}
 	}
 	return sol.Objective, sched.Normalized(), nil
+}
+
+// addLambdaVars declares one time-share variable per independent set,
+// named lambda[<set key>] with the given objective coefficient.
+func addLambdaVars(prob *lp.Problem, sets []indepset.Set, objCoef float64) []lp.Var {
+	lambdas := make([]lp.Var, len(sets))
+	for i, s := range sets {
+		lambdas[i] = prob.AddVar("lambda["+s.Key()+"]", objCoef)
+	}
+	return lambdas
+}
+
+// lambdaRows builds, for every universe link (result aligned with
+// universe order), the Eq. 6 throughput row mapping each set's lambda to
+// the rate the set serves that link at — one pass over each set's
+// couples instead of a per-link scan of every set. Rows come back ready
+// to extend (the caller may add f/theta columns) and links no set serves
+// get empty rows.
+func lambdaRows(universe []topology.LinkID, sets []indepset.Set, lambdas []lp.Var) []map[lp.Var]float64 {
+	rows := make([]map[lp.Var]float64, len(universe))
+	for i := range universe {
+		rows[i] = make(map[lp.Var]float64)
+	}
+	// universe comes from topology.LinkUnion / indepset enumeration and
+	// is sorted ascending; locate each couple's row by binary search.
+	find := func(link topology.LinkID) int {
+		lo, hi := 0, len(universe)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if universe[mid] < link {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(universe) && universe[lo] == link {
+			return lo
+		}
+		return -1
+	}
+	for i, s := range sets {
+		for _, c := range s.Couples {
+			li := find(c.Link)
+			if li < 0 || c.Rate <= 0 {
+				continue
+			}
+			row := rows[li]
+			// First occurrence wins on (malformed) duplicate links,
+			// matching Set.Rate's behavior.
+			if _, dup := row[lambdas[i]]; !dup {
+				row[lambdas[i]] = float64(c.Rate)
+			}
+		}
+	}
+	return rows
+}
+
+func linkConsName(link topology.LinkID) string {
+	return "link-" + strconv.Itoa(int(link))
 }
 
 func validateFlows(flows []Flow) error {

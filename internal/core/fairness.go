@@ -125,27 +125,23 @@ func solveFill(
 	boost int,
 ) (float64, *lp.Solution, error) {
 	prob := lp.NewProblem(lp.Maximize)
-	lambdas := make([]lp.Var, len(sets))
+	prob.Reserve(len(sets)+1, len(universe)+1)
+	lambdas := addLambdaVars(prob, sets, 0)
 	shareRow := make(map[lp.Var]float64, len(sets))
-	for i, s := range sets {
-		lambdas[i] = prob.AddVar(fmt.Sprintf("lambda[%s]", s.Key()), 0)
-		shareRow[lambdas[i]] = 1
+	for _, v := range lambdas {
+		shareRow[v] = 1
 	}
 	obj := prob.AddVar("objective", 1)
 	if len(shareRow) > 0 {
-		if err := prob.AddConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+		if err := prob.AddOwnedConstraint("total-share", shareRow, lp.LE, 1); err != nil {
 			return 0, nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	// Per-link coverage: sum lambda R >= sum over flows of its
 	// per-occurrence allocation.
-	for _, link := range universe {
-		row := make(map[lp.Var]float64)
-		for i, s := range sets {
-			if r := s.Rate(link); r > 0 {
-				row[lambdas[i]] = float64(r)
-			}
-		}
+	rows := lambdaRows(universe, sets, lambdas)
+	for li, link := range universe {
+		row := rows[li]
 		rhs := 0.0
 		objCoef := 0.0
 		for j, f := range flows {
@@ -171,7 +167,7 @@ func solveFill(
 		if len(row) == 0 && rhs <= 0 {
 			continue
 		}
-		if err := prob.AddConstraint(fmt.Sprintf("link-%d", link), row, lp.GE, rhs); err != nil {
+		if err := prob.AddOwnedConstraint(linkConsName(link), row, lp.GE, rhs); err != nil {
 			return 0, nil, fmt.Errorf("core: %w", err)
 		}
 	}

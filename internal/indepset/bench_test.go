@@ -1,6 +1,7 @@
 package indepset
 
 import (
+	"math/rand"
 	"testing"
 
 	"abw/internal/conflict"
@@ -10,8 +11,14 @@ import (
 	"abw/internal/topology"
 )
 
+// Enumeration micro-benchmarks, one per specialized walk. Run with
+// `go test -bench=Enumerate -benchmem ./internal/indepset/` to see
+// ns/op and allocs/op per path; the end-to-end query cost lives in the
+// root package's BenchmarkAvailableBandwidthQuery.
+
 func BenchmarkEnumerateScenarioII(b *testing.B) {
 	s := scenario.NewScenarioII()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Enumerate(s.Model, s.Links(), Options{}); err != nil {
@@ -27,6 +34,7 @@ func benchEnumeratePhysical(b *testing.B, hops int) {
 		b.Fatal(err)
 	}
 	m := conflict.NewPhysical(net)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Enumerate(m, path, Options{}); err != nil {
@@ -51,6 +59,77 @@ func BenchmarkEnumerateMesh(b *testing.B) {
 	for _, l := range net.Links() {
 		links = append(links, l.ID)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(m, links, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateProtocolChain exercises the bitmask pairwise walk
+// with the protocol (interference-range) model on an 8-hop chain.
+func BenchmarkEnumerateProtocolChain(b *testing.B) {
+	net, path, err := topology.Chain(radio.NewProfile80211a(), 8, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := conflict.NewProtocol(net)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(m, path, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateTableRandom exercises the bitmask pairwise walk on a
+// dense random conflict table (10 links, 3 rates, 40% pair conflicts).
+func BenchmarkEnumerateTableRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	rates := []radio.Rate{54, 36, 18}
+	tb := conflict.NewTable()
+	var links []topology.LinkID
+	const n = 10
+	for i := topology.LinkID(0); i < n; i++ {
+		tb.SetRates(i, rates...)
+		links = append(links, i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for _, ri := range rates {
+				for _, rj := range rates {
+					if rng.Float64() < 0.4 {
+						if err := tb.AddConflict(topology.LinkID(i), ri, topology.LinkID(j), rj); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(tb, links, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateFallback exercises the generic brute-force walk (the
+// path every model took before the specialized walks existed) on a
+// 6-hop physical chain, for comparison against the incremental paths.
+func BenchmarkEnumerateFallback(b *testing.B) {
+	net, path, err := topology.Chain(radio.NewProfile80211a(), 6, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := opaque{m: conflict.NewPhysical(net)}
+	links := []topology.LinkID(path)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Enumerate(m, links, Options{}); err != nil {

@@ -12,12 +12,25 @@
 // Unlike single-rate networks, a maximal set's link set may be a strict
 // subset of another independent set's; the enumeration below preserves
 // those (the paper's Scenario II depends on them).
+//
+// Maximality is decided during the DFS itself: the single-link and
+// single-rate extensions that could disqualify a subset are exactly the
+// kind of children the walk visits anyway, so each explored feasible set
+// is tested in place against incrementally maintained state instead of
+// being materialized and re-verified from scratch afterwards. The
+// physical model keeps running per-receiver interference sums
+// (conflict.SetTracker); pairwise models (conflict.PairwiseModel) keep
+// per-link bitmasks of the rates still clearing every member, so a push
+// only checks the newly added couple against the current members.
+// Models that are neither fall back to the brute-force walk.
 package indepset
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 
 	"abw/internal/conflict"
@@ -28,6 +41,10 @@ import (
 // Set is an independent set: couples sorted by link ID.
 type Set struct {
 	Couples []conflict.Couple
+
+	// key caches Key(); enumeration fills it while sorting the final
+	// family so downstream LP construction reuses it for free.
+	key string
 }
 
 // NewSet builds a Set from couples, sorting them by link ID.
@@ -39,12 +56,20 @@ func NewSet(couples ...conflict.Couple) Set {
 }
 
 // Rate returns the rate of the given link in the set, or 0 if the link
-// is not a member.
+// is not a member. It binary-searches the (sorted) couples.
 func (s Set) Rate(link topology.LinkID) radio.Rate {
-	for _, c := range s.Couples {
-		if c.Link == link {
-			return c.Rate
+	cs := s.Couples
+	lo, hi := 0, len(cs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cs[mid].Link < link {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(cs) && cs[lo].Link == link {
+		return cs[lo].Rate
 	}
 	return 0
 }
@@ -66,12 +91,24 @@ func (s Set) Len() int { return len(s.Couples) }
 
 // Key returns a canonical string identity for deduplication.
 func (s Set) Key() string {
+	if s.key != "" {
+		return s.key
+	}
 	var b strings.Builder
+	b.Grow(8 * len(s.Couples))
 	for i, c := range s.Couples {
 		if i > 0 {
 			b.WriteByte('|')
 		}
-		fmt.Fprintf(&b, "%d@%g", c.Link, float64(c.Rate))
+		b.WriteString(strconv.Itoa(int(c.Link)))
+		b.WriteByte('@')
+		// Integral rates below 1e6 print identically under %g and plain
+		// decimal, skipping shortest-float formatting on the common case.
+		if f := float64(c.Rate); f == float64(int(f)) && f >= 0 && f < 1e6 {
+			b.WriteString(strconv.Itoa(int(f)))
+		} else {
+			b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		}
 	}
 	return b.String()
 }
@@ -105,7 +142,9 @@ var ErrLimit = fmt.Errorf("indepset: enumeration limit exceeded")
 // Options configure enumeration.
 type Options struct {
 	// Limit bounds the number of feasible sets explored; 0 means the
-	// default of 1<<20.
+	// default of 1<<20. The bound is exact: the walk stops before
+	// exploring set Limit+1, and a truncated EnumeratePartial hands back
+	// at most Limit sets.
 	Limit int
 }
 
@@ -143,32 +182,42 @@ func EnumeratePartial(m conflict.Model, links []topology.LinkID, opts Options) (
 
 func enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
 	universe := dedupSorted(links)
-	var all []Set
+	var out []Set
 	var err error
-	if pm, ok := m.(*conflict.Physical); ok {
-		all, err = enumeratePhysical(pm, universe, opts.limit())
-	} else {
-		all, err = enumerateGeneric(m, universe, opts.limit())
+	switch mm := m.(type) {
+	case *conflict.Physical:
+		out, err = enumeratePhysical(mm, universe, opts.limit())
+	case conflict.PairwiseModel:
+		out, err = enumeratePairwise(mm, universe, opts.limit())
+	default:
+		out, err = enumerateFallback(m, universe, opts.limit())
 	}
 	truncated := errors.Is(err, ErrLimit)
 	if err != nil && !truncated {
 		return nil, false, err
 	}
-	out := make([]Set, 0, len(all))
-	for _, s := range all {
-		if s.Len() == 0 {
-			continue
-		}
-		if IsMaximal(m, s, universe) {
-			out = append(out, s)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	sortByKey(out)
 	return out, truncated, nil
 }
 
+func sortByKey(sets []Set) {
+	for i := range sets {
+		sets[i].key = sets[i].Key()
+	}
+	sort.Sort(setsByKey(sets))
+}
+
+type setsByKey []Set
+
+func (s setsByKey) Len() int           { return len(s) }
+func (s setsByKey) Less(i, j int) bool { return s[i].key < s[j].key }
+func (s setsByKey) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // IsMaximal reports whether s is a maximal independent set over the
-// given link universe: feasible, rate-maximal and link-maximal.
+// given link universe: feasible, rate-maximal and link-maximal. It is
+// the from-scratch reference predicate; the enumeration walks reach the
+// same verdict from incremental state (see the equivalence property
+// test).
 func IsMaximal(m conflict.Model, s Set, universe []topology.LinkID) bool {
 	if s.Len() == 0 || !conflict.Feasible(m, s.Couples) {
 		return false
@@ -213,30 +262,67 @@ func IsMaximal(m conflict.Model, s Set, universe []topology.LinkID) bool {
 // enumeratePhysical walks link subsets; under the physical model the
 // maximum supported rate vector is a function of membership, and
 // interference only grows with additions, so infeasible subsets prune
-// their supersets.
+// their supersets. Rate-maximality is automatic (every member already
+// carries its maximum supported rate), and link-maximality is decided
+// at each node from the tracker's running interference sums: an outside
+// link joins exactly when it sustains some positive declared rate and
+// lowers no member's rate.
 func enumeratePhysical(m *conflict.Physical, universe []topology.LinkID, limit int) ([]Set, error) {
+	n := len(universe)
+	if n == 0 {
+		return nil, nil
+	}
+	tr := m.NewSetTracker(universe)
+	// minRate[i] is the lowest positive declared rate of universe[i]: the
+	// weakest couple it could join a set with. Links with no positive
+	// declared rate can never join (nor appear).
+	minRate := make([]radio.Rate, n)
+	for i, l := range universe {
+		minRate[i] = m.MinPositiveRate(l)
+	}
+
 	var out []Set
-	var members []topology.LinkID
+	explored := 0
+	members := make([]int, 0, n)
+	isMember := make([]bool, n)
+	rateBuf := make([]radio.Rate, n)
+	var arena []conflict.Couple // chunked backing for materialized sets
+
 	var rec func(start int) error
 	rec = func(start int) error {
 		if len(members) > 0 {
-			rates, ok := m.MaxRateVector(members)
-			if !ok {
-				return nil // some member silenced: prune subtree
+			// Feasibility: every member must keep a positive max rate.
+			for d, mi := range members {
+				r := tr.MaxRate(mi)
+				if r == 0 {
+					return nil // some member silenced: prune subtree
+				}
+				rateBuf[d] = r
 			}
-			couples := make([]conflict.Couple, len(members))
-			for i, l := range members {
-				couples[i] = conflict.Couple{Link: l, Rate: rates[i]}
-			}
-			out = append(out, NewSet(couples...))
-			if len(out) > limit {
+			if explored == limit {
 				return ErrLimit
 			}
+			explored++
+			if physicalMaximal(tr, members, isMember, rateBuf, minRate, n) {
+				if cap(arena)-len(arena) < len(members) {
+					arena = make([]conflict.Couple, 0, 16*n)
+				}
+				base := len(arena)
+				for d, mi := range members {
+					arena = append(arena, conflict.Couple{Link: universe[mi], Rate: rateBuf[d]})
+				}
+				couples := arena[base:len(arena):len(arena)]
+				out = append(out, Set{Couples: couples}) // members ascend, so couples are sorted
+			}
 		}
-		for i := start; i < len(universe); i++ {
-			members = append(members, universe[i])
+		for i := start; i < n; i++ {
+			tr.Push(i)
+			members = append(members, i)
+			isMember[i] = true
 			err := rec(i + 1)
+			isMember[i] = false
 			members = members[:len(members)-1]
+			tr.Pop()
 			if err != nil {
 				return err
 			}
@@ -249,20 +335,246 @@ func enumeratePhysical(m *conflict.Physical, universe []topology.LinkID, limit i
 	return out, nil
 }
 
-// enumerateGeneric walks (link, rate) couple assignments in link order.
-// It requires the model's feasibility to be downward monotone in set
-// inclusion (true for the pairwise Table and Protocol models).
-func enumerateGeneric(m conflict.Model, universe []topology.LinkID, limit int) ([]Set, error) {
+// physicalMaximal reports link-maximality of the tracker's current
+// member set (rates in rateBuf): no outside link may join at any
+// positive declared rate while every member keeps its rate. Under the
+// physical model a joining link can only lower member rates, so
+// "keeps" means the recomputed rate with the joiner's interference
+// added stays at least the current one.
+func physicalMaximal(tr *conflict.SetTracker, members []int, isMember []bool, rateBuf, minRate []radio.Rate, n int) bool {
+	for j := 0; j < n; j++ {
+		if isMember[j] || minRate[j] == 0 {
+			continue
+		}
+		if tr.MaxRate(j) < minRate[j] {
+			continue // blocked or silenced: cannot join at any declared rate
+		}
+		joins := true
+		for d, mi := range members {
+			if tr.MaxRateJoined(mi, j) < rateBuf[d] {
+				joins = false
+				break
+			}
+		}
+		if joins {
+			return false
+		}
+	}
+	return true
+}
+
+// enumeratePairwise walks (link, rate) couple assignments in link order
+// for models whose feasibility decomposes pairwise. It maintains, for
+// every universe link, a bitmask of the declared rates that still clear
+// every current member (bit k = k-th declared rate, descending), so
+// adding a couple only checks the new couple against current members,
+// and leaf maximality is a handful of mask intersections instead of
+// from-scratch feasibility calls.
+func enumeratePairwise(m conflict.PairwiseModel, universe []topology.LinkID, limit int) ([]Set, error) {
+	n := len(universe)
+	if n == 0 {
+		return nil, nil
+	}
+	// Positive declared rates per link, preserving the model's descending
+	// order. Non-positive rates can never appear in a feasible couple.
+	rates := make([][]radio.Rate, n)
+	for i, l := range universe {
+		for _, r := range m.Rates(l) {
+			if r > 0 {
+				rates[i] = append(rates[i], r)
+			}
+		}
+		if len(rates[i]) > 64 {
+			// Masks are uint64; absurd rate counts take the slow path.
+			return enumerateFallback(m, universe, limit)
+		}
+	}
+	// clear[i][j][rj] is the mask of link i's rates that clear the couple
+	// (universe[j], rates[j][rj]). The diagonal is all-ones: a link never
+	// constrains itself (MaxRate ignores couples on the queried link).
+	clear := make([][][]uint64, n)
+	for i := range clear {
+		clear[i] = make([][]uint64, n)
+		for j := range clear[i] {
+			masks := make([]uint64, len(rates[j]))
+			if i == j {
+				for rj := range masks {
+					masks[rj] = ^uint64(0)
+				}
+			} else {
+				for rj := range masks {
+					other := conflict.Couple{Link: universe[j], Rate: rates[j][rj]}
+					var bm uint64
+					for ri, r := range rates[i] {
+						if m.RateClears(universe[i], r, other) {
+							bm |= 1 << uint(ri)
+						}
+					}
+					masks[rj] = bm
+				}
+			}
+			clear[i][j] = masks
+		}
+	}
+
+	avail := make([]uint64, n) // rates of each link clearing every member
+	for i := range avail {
+		avail[i] = (uint64(1) << uint(len(rates[i]))) - 1
+	}
+	saved := make([][]uint64, n)
+	for d := range saved {
+		saved[d] = make([]uint64, n)
+	}
+	type member struct {
+		pos int
+		ri  int
+		ge  uint64 // mask of declared rates at least the chosen one
+	}
+	members := make([]member, 0, n)
+	isMember := make([]bool, n)
+
+	maximal := func() bool {
+		// Rate-maximality: some member could be raised to a higher
+		// declared rate with every other member keeping its rate.
+		for ii := range members {
+			a := &members[ii]
+			// The member itself sustains a raise to index rj exactly when
+			// some still-clearing rate is at least rates[a.pos][rj], i.e.
+			// rj is at or below the best clearing rate.
+			for rj := bits.TrailingZeros64(avail[a.pos]); rj < a.ri; rj++ {
+				ok := true
+				for jj := range members {
+					if jj == ii {
+						continue
+					}
+					b := &members[jj]
+					// b's rates clearing every member except a, plus a at
+					// its raised rate.
+					mask := clear[b.pos][a.pos][rj]
+					for kk := range members {
+						if kk == ii || kk == jj {
+							continue
+						}
+						c := &members[kk]
+						mask &= clear[b.pos][c.pos][c.ri]
+					}
+					if mask&b.ge == 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return false
+				}
+			}
+		}
+		// Link-maximality: some outside link could join at a declared
+		// rate with every member keeping its rate.
+		for j := 0; j < n; j++ {
+			if isMember[j] || avail[j] == 0 {
+				continue
+			}
+			for rj := bits.TrailingZeros64(avail[j]); rj < len(rates[j]); rj++ {
+				ok := true
+				for ii := range members {
+					a := &members[ii]
+					if avail[a.pos]&clear[a.pos][j][rj]&a.ge == 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
 	var out []Set
+	explored := 0
+	var rec func(idx int) error
+	rec = func(idx int) error {
+		if idx == n {
+			if len(members) == 0 {
+				return nil
+			}
+			if explored == limit {
+				return ErrLimit
+			}
+			explored++
+			if maximal() {
+				couples := make([]conflict.Couple, len(members))
+				for d := range members {
+					a := &members[d]
+					couples[d] = conflict.Couple{Link: universe[a.pos], Rate: rates[a.pos][a.ri]}
+				}
+				out = append(out, Set{Couples: couples}) // idx order = link order
+			}
+			return nil
+		}
+		// Exclude universe[idx].
+		if err := rec(idx + 1); err != nil {
+			return err
+		}
+		// Include at each rate that keeps the partial set feasible: the
+		// new couple must be sustainable against the members (some
+		// clearing rate at or above it) and every member must retain a
+		// clearing rate at or above its own.
+		for ri := range rates[idx] {
+			ge := (uint64(1) << uint(ri+1)) - 1
+			if avail[idx]&ge == 0 {
+				continue
+			}
+			feasible := true
+			for ii := range members {
+				a := &members[ii]
+				if avail[a.pos]&clear[a.pos][idx][ri]&a.ge == 0 {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			d := len(members)
+			copy(saved[d], avail)
+			for j := 0; j < n; j++ {
+				avail[j] &= clear[j][idx][ri]
+			}
+			members = append(members, member{pos: idx, ri: ri, ge: ge})
+			isMember[idx] = true
+			err := rec(idx + 1)
+			isMember[idx] = false
+			members = members[:d]
+			copy(avail, saved[d])
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// enumerateFallback is the brute-force walk for models that are neither
+// physical nor pairwise: it materializes every feasible couple
+// assignment (feasibility must be downward monotone in set inclusion)
+// and post-filters with the reference IsMaximal predicate.
+func enumerateFallback(m conflict.Model, universe []topology.LinkID, limit int) ([]Set, error) {
+	var all []Set
 	var cur []conflict.Couple
 	var rec func(idx int) error
 	rec = func(idx int) error {
 		if idx == len(universe) {
 			if len(cur) > 0 {
-				out = append(out, NewSet(cur...))
-				if len(out) > limit {
+				if len(all) == limit {
 					return ErrLimit
 				}
+				all = append(all, NewSet(cur...))
 			}
 			return nil
 		}
@@ -283,21 +595,32 @@ func enumerateGeneric(m conflict.Model, universe []topology.LinkID, limit int) (
 		}
 		return nil
 	}
-	if err := rec(0); err != nil {
-		return out, err
+	err := rec(0)
+	if err != nil && !errors.Is(err, ErrLimit) {
+		return nil, err
 	}
-	return out, nil
+	out := make([]Set, 0, len(all))
+	for _, s := range all {
+		if s.Len() == 0 {
+			continue
+		}
+		if IsMaximal(m, s, universe) {
+			out = append(out, s)
+		}
+	}
+	return out, err
 }
 
 func dedupSorted(links []topology.LinkID) []topology.LinkID {
-	out := make([]topology.LinkID, 0, len(links))
-	seen := make(map[topology.LinkID]bool, len(links))
-	for _, l := range links {
-		if !seen[l] {
-			seen[l] = true
-			out = append(out, l)
+	out := make([]topology.LinkID, len(links))
+	copy(out, links)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, l := range out {
+		if i == 0 || l != out[w-1] {
+			out[w] = l
+			w++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out[:w]
 }

@@ -289,3 +289,93 @@ func TestEnumeratePartialTruncates(t *testing.T) {
 		t.Errorf("partial-full (%d sets) != Enumerate (%d sets)", len(full), len(direct))
 	}
 }
+
+// allConflictTable builds n links with one rate each where every pair
+// conflicts: the maximal set family is exactly the n singletons, and
+// every feasible non-empty set is maximal, so the exploration count
+// equals the returned set count and the limit boundary is unambiguous.
+func allConflictTable(t *testing.T, n int) (*conflict.Table, []topology.LinkID) {
+	t.Helper()
+	tb := conflict.NewTable()
+	var links []topology.LinkID
+	for i := topology.LinkID(0); int(i) < n; i++ {
+		tb.SetRates(i, 54)
+		links = append(links, i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := tb.AddConflictAllRates(topology.LinkID(i), topology.LinkID(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tb, links
+}
+
+// TestEnumerateLimitBoundary pins the exact limit semantics documented
+// on Options.Limit: a truncated run hands back at most Limit sets (the
+// walk stops *before* exploring set Limit+1), and Limit equal to the
+// family size completes untruncated. Regression for an off-by-one where
+// the limit check ran only after appending set Limit+1, so callers got
+// Limit+1 sets from a "limited" enumeration.
+func TestEnumerateLimitBoundary(t *testing.T) {
+	const n = 5
+	tb, links := allConflictTable(t, n)
+
+	// Limit below the family size: truncated, and at most Limit sets.
+	sets, truncated, err := EnumeratePartial(tb, links, Options{Limit: n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatalf("limit %d over %d-set family: want truncated", n-1, n)
+	}
+	if len(sets) > n-1 {
+		t.Fatalf("truncated run returned %d sets, limit was %d: %v", len(sets), n-1, keys(sets))
+	}
+	if _, err := Enumerate(tb, links, Options{Limit: n - 1}); err != ErrLimit {
+		t.Fatalf("Enumerate with tripped limit: got err %v, want ErrLimit", err)
+	}
+
+	// Limit exactly the family size: complete and untruncated.
+	sets, truncated, err = EnumeratePartial(tb, links, Options{Limit: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatalf("limit %d over %d-set family: spuriously truncated", n, n)
+	}
+	if len(sets) != n {
+		t.Fatalf("got %d sets at exact limit, want %d", len(sets), n)
+	}
+}
+
+// TestEnumerateLimitBoundaryFallback is the same boundary check routed
+// through the generic (non-pairwise) walk via the opaque wrapper.
+func TestEnumerateLimitBoundaryFallback(t *testing.T) {
+	const n = 5
+	tb, links := allConflictTable(t, n)
+	m := opaque{m: tb}
+
+	sets, truncated, err := EnumeratePartial(m, links, Options{Limit: n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatalf("limit %d over %d-set family: want truncated", n-1, n)
+	}
+	if len(sets) > n-1 {
+		t.Fatalf("truncated run returned %d sets, limit was %d: %v", len(sets), n-1, keys(sets))
+	}
+
+	sets, truncated, err = EnumeratePartial(m, links, Options{Limit: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatalf("limit %d over %d-set family: spuriously truncated", n, n)
+	}
+	if len(sets) != n {
+		t.Fatalf("got %d sets at exact limit, want %d", len(sets), n)
+	}
+}

@@ -1,0 +1,199 @@
+package indepset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/geom"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// referenceEnumerate is the brute-force reference the incremental DFS
+// walks are gated against: materialize every feasible couple assignment
+// with from-scratch conflict.Feasible checks, post-filter with the
+// reference IsMaximal predicate, and sort by Key. Any divergence from
+// Enumerate is a bug in the incremental maximality/feasibility state.
+func referenceEnumerate(t *testing.T, m conflict.Model, links []topology.LinkID) []Set {
+	t.Helper()
+	universe := dedupSorted(links)
+	var all []Set
+	var cur []conflict.Couple
+	var rec func(idx int)
+	rec = func(idx int) {
+		if idx == len(universe) {
+			if len(cur) > 0 {
+				all = append(all, NewSet(cur...))
+			}
+			return
+		}
+		rec(idx + 1)
+		for _, r := range m.Rates(universe[idx]) {
+			cur = append(cur, conflict.Couple{Link: universe[idx], Rate: r})
+			if conflict.Feasible(m, cur) {
+				rec(idx + 1)
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	var out []Set
+	for _, s := range all {
+		if IsMaximal(m, s, universe) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// assertSameFamily checks that Enumerate returns exactly the reference
+// set family (same Key multiset, same order).
+func assertSameFamily(t *testing.T, m conflict.Model, links []topology.LinkID, label string) {
+	t.Helper()
+	got, err := Enumerate(m, links, Options{})
+	if err != nil {
+		t.Fatalf("%s: Enumerate: %v", label, err)
+	}
+	want := referenceEnumerate(t, m, links)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d maximal sets %v, reference has %d %v",
+			label, len(got), keys(got), len(want), keys(want))
+	}
+	if !reflect.DeepEqual(keys(got), keys(want)) {
+		t.Fatalf("%s: set families differ:\n got  %v\n want %v", label, keys(got), keys(want))
+	}
+}
+
+// cappedLinks bounds the universe so the brute-force reference stays
+// tractable.
+func cappedLinks(net *topology.Network, max int) []topology.LinkID {
+	var out []topology.LinkID
+	for _, l := range net.Links() {
+		if len(out) == max {
+			break
+		}
+		out = append(out, l.ID)
+	}
+	return out
+}
+
+func TestEquivalencePhysicalRandomTopologies(t *testing.T) {
+	prof := radio.NewProfile80211a()
+	for seed := int64(1); seed <= 12; seed++ {
+		net, err := topology.Random(prof, geom.Rect{W: 350, H: 350}, 6, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		links := cappedLinks(net, 8)
+		if len(links) == 0 {
+			continue
+		}
+		assertSameFamily(t, conflict.NewPhysical(net), links, "physical random")
+	}
+}
+
+func TestEquivalenceProtocolRandomTopologies(t *testing.T) {
+	prof := radio.NewProfile80211a()
+	for seed := int64(1); seed <= 12; seed++ {
+		net, err := topology.Random(prof, geom.Rect{W: 350, H: 350}, 6, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		links := cappedLinks(net, 8)
+		if len(links) == 0 {
+			continue
+		}
+		assertSameFamily(t, conflict.NewProtocol(net), links, "protocol random")
+	}
+}
+
+func TestEquivalenceChains(t *testing.T) {
+	prof := radio.NewProfile80211a()
+	for _, spacing := range []float64{60, 80, 100, 120, 150} {
+		for _, hops := range []int{3, 5, 7} {
+			net, path, err := topology.Chain(prof, hops, spacing)
+			if err != nil {
+				t.Fatalf("chain(%d, %g): %v", hops, spacing, err)
+			}
+			links := []topology.LinkID(path)
+			assertSameFamily(t, conflict.NewPhysical(net), links, "physical chain")
+			assertSameFamily(t, conflict.NewProtocol(net), links, "protocol chain")
+		}
+	}
+}
+
+func TestEquivalenceRandomTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rates := []radio.Rate{54, 36, 18}
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		tb := conflict.NewTable()
+		var links []topology.LinkID
+		for i := topology.LinkID(0); int(i) < n; i++ {
+			// Vary per-link rate counts so some links only support a
+			// subset of the rate classes.
+			tb.SetRates(i, rates[:1+rng.Intn(len(rates))]...)
+			links = append(links, i)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for _, ri := range tb.Rates(topology.LinkID(i)) {
+					for _, rj := range tb.Rates(topology.LinkID(j)) {
+						if rng.Float64() < 0.45 {
+							if err := tb.AddConflict(topology.LinkID(i), ri, topology.LinkID(j), rj); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+		}
+		assertSameFamily(t, tb, links, "random table")
+	}
+}
+
+// opaque hides a model's dynamic type behind explicit forwarding methods
+// so it satisfies neither *Physical nor PairwiseModel: enumeration must
+// take the brute-force fallback path. (A struct embedding would promote
+// RateClears and defeat the point.)
+type opaque struct{ m conflict.Model }
+
+func (o opaque) MaxRate(link topology.LinkID, concurrent []conflict.Couple) radio.Rate {
+	return o.m.MaxRate(link, concurrent)
+}
+func (o opaque) Rates(link topology.LinkID) []radio.Rate { return o.m.Rates(link) }
+
+func TestEquivalenceFallbackPath(t *testing.T) {
+	// FixedRates is genuinely non-pairwise (its MaxRate depends on the
+	// jointly chosen substitute rates), and opaque-wrapped models force
+	// the generic walk; both must agree with the reference.
+	prof := radio.NewProfile80211a()
+	net, path, err := topology.Chain(prof, 5, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := []topology.LinkID(path)
+	phys := conflict.NewPhysical(net)
+
+	fixed := conflict.FixRates(phys, []conflict.Couple{{Link: links[0], Rate: 18}, {Link: links[2], Rate: 6}, {Link: links[4], Rate: 18}})
+	assertSameFamily(t, fixed, links, "fixed rates")
+
+	assertSameFamily(t, opaque{m: phys}, links, "opaque physical")
+
+	// The fallback and incremental paths must also agree with each other.
+	direct, err := Enumerate(phys, links, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFallback, err := Enumerate(opaque{m: phys}, links, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys(direct), keys(viaFallback)) {
+		t.Fatalf("incremental path %v != fallback path %v", keys(direct), keys(viaFallback))
+	}
+}

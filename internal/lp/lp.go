@@ -106,6 +106,25 @@ func (p *Problem) AddVar(name string, objCoef float64) Var {
 	return Var(len(p.obj) - 1)
 }
 
+// Reserve pre-sizes internal storage for an expected number of
+// variables and constraints, avoiding repeated growth when the caller
+// knows the problem shape up front. It never shrinks.
+func (p *Problem) Reserve(nVars, nCons int) {
+	if nVars > cap(p.varNames) {
+		names := make([]string, len(p.varNames), nVars)
+		copy(names, p.varNames)
+		p.varNames = names
+		obj := make([]float64, len(p.obj), nVars)
+		copy(obj, p.obj)
+		p.obj = obj
+	}
+	if nCons > cap(p.cons) {
+		cons := make([]constraint, len(p.cons), nCons)
+		copy(cons, p.cons)
+		p.cons = cons
+	}
+}
+
 // SetObjCoef replaces the objective coefficient of v.
 func (p *Problem) SetObjCoef(v Var, c float64) error {
 	if int(v) < 0 || int(v) >= len(p.obj) {
@@ -151,6 +170,33 @@ func (p *Problem) AddConstraint(name string, coefs map[Var]float64, rel Rel, rhs
 		}
 	}
 	p.cons = append(p.cons, constraint{name: name, coefs: cp, rel: rel, rhs: rhs})
+	return nil
+}
+
+// AddOwnedConstraint is AddConstraint without the defensive copy: the
+// problem takes ownership of coefs (zero coefficients are deleted in
+// place) and the caller must not touch the map afterwards. Row builders
+// that assemble a fresh map per constraint use this to skip one map
+// allocation per row.
+func (p *Problem) AddOwnedConstraint(name string, coefs map[Var]float64, rel Rel, rhs float64) error {
+	if rel != LE && rel != GE && rel != EQ {
+		return fmt.Errorf("lp: constraint %q has invalid relation %d", name, int(rel))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: constraint %q has non-finite rhs %g", name, rhs)
+	}
+	for v, c := range coefs {
+		if int(v) < 0 || int(v) >= len(p.obj) {
+			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, v)
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("lp: constraint %q has non-finite coefficient %g for %s", name, c, p.VarName(v))
+		}
+		if c == 0 {
+			delete(coefs, v)
+		}
+	}
+	p.cons = append(p.cons, constraint{name: name, coefs: coefs, rel: rel, rhs: rhs})
 	return nil
 }
 
@@ -223,15 +269,16 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	total := n + nSlack + nArt
 
-	// Dense tableau rows plus rhs column.
+	// Dense tableau rows plus rhs column, in one backing allocation.
 	t := make([][]float64, m)
+	back := make([]float64, m*(total+1))
 	basis := make([]int, m)
 	isArt := make([]bool, total)
 
 	slackCol := n
 	artCol := n + nSlack
 	for i, c := range p.cons {
-		row := make([]float64, total+1)
+		row := back[i*(total+1) : (i+1)*(total+1)]
 		sign := 1.0
 		rel := c.rel
 		if c.rhs < 0 {
@@ -268,15 +315,20 @@ func (p *Problem) Solve() (*Solution, error) {
 		t[i] = row
 	}
 
+	// Scratch buffers shared by both phases: phase-1/phase-2 costs and
+	// the reduced-cost vector.
+	cbuf := make([]float64, 3*total)
+	red := cbuf[2*total:]
+
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
-		c1 := make([]float64, total)
+		c1 := cbuf[:total]
 		for j := range c1 {
 			if isArt[j] {
 				c1[j] = 1
 			}
 		}
-		status, err := simplex(t, basis, c1, nil)
+		status, err := simplex(t, basis, c1, nil, red)
 		if err != nil {
 			return nil, fmt.Errorf("lp: phase 1: %w", err)
 		}
@@ -319,7 +371,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 
 	// Phase 2: original objective (as minimization).
-	c2 := make([]float64, total)
+	c2 := cbuf[total : 2*total]
 	for j := 0; j < n; j++ {
 		if p.sense == Maximize {
 			c2[j] = -p.obj[j]
@@ -327,7 +379,7 @@ func (p *Problem) Solve() (*Solution, error) {
 			c2[j] = p.obj[j]
 		}
 	}
-	status, err := simplex(t, basis, c2, isArt)
+	status, err := simplex(t, basis, c2, isArt, red)
 	if err != nil {
 		return nil, fmt.Errorf("lp: phase 2: %w", err)
 	}
@@ -351,7 +403,7 @@ func (p *Problem) Solve() (*Solution, error) {
 // simplex runs the primal simplex loop on the tableau, minimizing cost
 // c. Columns with barred[j] true may not enter the basis (artificials
 // in phase 2). It returns Optimal or Unbounded.
-func simplex(t [][]float64, basis []int, c []float64, barred []bool) (Status, error) {
+func simplex(t [][]float64, basis []int, c []float64, barred []bool, red []float64) (Status, error) {
 	m := len(t)
 	if m == 0 {
 		// With no rows, any variable with negative cost increases without
@@ -369,6 +421,20 @@ func simplex(t [][]float64, basis []int, c []float64, barred []bool) (Status, er
 	for iter := 0; iter < maxPivots; iter++ {
 		// Reduced costs: r_j = c_j - c_B . B^-1 A_j. The tableau rows
 		// already are B^-1 A, so r_j = c_j - sum_i c[basis[i]] * t[i][j].
+		// The dual multiplier c[basis[i]] is fixed per row, so accumulate
+		// row-major across all columns at once instead of re-reading it
+		// inside a per-column loop. Summation order over i (ascending,
+		// zero multipliers skipped) matches the per-column form, so the
+		// reduced costs are bit-identical.
+		copy(red, c)
+		for i := 0; i < m; i++ {
+			if cb := c[basis[i]]; cb != 0 {
+				ti := t[i]
+				for j := 0; j < total; j++ {
+					red[j] -= cb * ti[j]
+				}
+			}
+		}
 		entering := -1
 		best := -reducedCost
 		useBland := iter >= blandAfter
@@ -376,13 +442,7 @@ func simplex(t [][]float64, basis []int, c []float64, barred []bool) (Status, er
 			if barred != nil && barred[j] {
 				continue
 			}
-			r := c[j]
-			for i := 0; i < m; i++ {
-				if cb := c[basis[i]]; cb != 0 {
-					r -= cb * t[i][j]
-				}
-			}
-			if r < -reducedCost {
+			if r := red[j]; r < -reducedCost {
 				if useBland {
 					entering = j
 					break
@@ -397,26 +457,45 @@ func simplex(t [][]float64, basis []int, c []float64, barred []bool) (Status, er
 			return Optimal, nil
 		}
 
-		// Ratio test.
-		leaving := -1
-		minRatio := math.Inf(1)
-		for i := 0; i < m; i++ {
-			a := t[i][entering]
-			if a > pivotTol {
-				ratio := t[i][rhs] / a
-				if ratio < minRatio-pivotTol ||
-					(ratio < minRatio+pivotTol && (leaving < 0 || basis[i] < basis[leaving])) {
-					minRatio = ratio
-					leaving = i
-				}
-			}
-		}
+		leaving := ratioTest(t, basis, entering, rhs)
 		if leaving < 0 {
 			return Unbounded, nil
 		}
 		pivot(t, basis, leaving, entering)
 	}
 	return 0, fmt.Errorf("simplex did not converge within %d pivots", maxPivots)
+}
+
+// ratioTest picks the leaving row for the given entering column: the row
+// minimizing t[i][rhs] / t[i][entering] over rows with a positive pivot
+// candidate, breaking near-ties (within pivotTol) toward the lowest
+// basis index for Bland-style anti-cycling. Returns -1 when no row has a
+// positive entry (the column is unbounded).
+//
+// The true minimum is established in a first pass before any tie-break
+// runs: folding both into one pass can leave minRatio stale — or drag it
+// upward through a chain of within-tolerance tie wins — so that a later,
+// genuinely smaller ratio is compared against the wrong bound and the
+// chosen pivot drives basic variables negative.
+func ratioTest(t [][]float64, basis []int, entering, rhs int) int {
+	minRatio := math.Inf(1)
+	for i := range t {
+		if a := t[i][entering]; a > pivotTol {
+			if ratio := t[i][rhs] / a; ratio < minRatio {
+				minRatio = ratio
+			}
+		}
+	}
+	leaving := -1
+	for i := range t {
+		if a := t[i][entering]; a > pivotTol {
+			if ratio := t[i][rhs] / a; ratio < minRatio+pivotTol &&
+				(leaving < 0 || basis[i] < basis[leaving]) {
+				leaving = i
+			}
+		}
+	}
+	return leaving
 }
 
 // pivot performs a Gauss-Jordan pivot on t[row][col] and updates the

@@ -363,3 +363,66 @@ func TestZeroCoefficientDropped(t *testing.T) {
 		t.Errorf("obj = %g, want 7 (y unconstrained by the zero-coef row)", sol.Objective)
 	}
 }
+
+// TestRatioTestStaleMinimum pins the two-pass ratio test against a
+// tableau crafted so a single-pass test with folded-in tie-breaking
+// goes wrong: the true minimum ratio appears on a row that loses the
+// Bland tie-break, so minRatio is never tightened, and a later row
+// whose ratio is genuinely larger (but within pivotTol of the stale
+// bound) wins on basis index. Pivoting there drives the amplified
+// first row's basic variable to about -5e-4 — far past any tolerance —
+// while the correct pivot keeps every basic variable within ~1e-9 of
+// feasibility.
+func TestRatioTestStaleMinimum(t *testing.T) {
+	const rhs = 6
+	tab := [][]float64{
+		// col:  0     1    2    3    4    5    rhs        ratio
+		{1e6, 0, 1, 0, 0, 0, 1e6},      // 1.0        basis 2
+		{1, 0, 0, 0, 0, 1, 1 - 0.8e-9}, // 1 - 0.8e-9 basis 5 (true min)
+		{1, 1, 0, 0, 0, 0, 1 + 0.5e-9}, // 1 + 0.5e-9 basis 1
+	}
+	basis := []int{2, 5, 1}
+
+	if got := ratioTest(tab, basis, 0, rhs); got != 0 {
+		t.Fatalf("ratioTest picked row %d, want 0 (lowest basis index among near-minimum ratios)", got)
+	}
+
+	c := []float64{-1, 0, 0, 0, 0, 0}
+	status, err := simplex(tab, basis, c, nil, make([]float64, len(c)))
+	if err != nil {
+		t.Fatalf("simplex: %v", err)
+	}
+	if status != Optimal {
+		t.Fatalf("status = %v, want Optimal", status)
+	}
+	for i := range tab {
+		if tab[i][rhs] < -1e-6 {
+			t.Errorf("row %d: basic variable driven to %g by a bad leaving-row choice", i, tab[i][rhs])
+		}
+	}
+}
+
+// TestDegenerateTieBreakSolve exercises the public solver on a
+// degenerate LP whose optimum sits on several coincident basic
+// solutions, so the ratio test repeatedly faces exact and near ties.
+func TestDegenerateTieBreakSolve(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	// x <= 1, y <= 1, x+y <= 2 (redundant: optimum vertex is degenerate).
+	mustCons(t, p, "c1", map[Var]float64{x: 1}, LE, 1)
+	mustCons(t, p, "c2", map[Var]float64{y: 1}, LE, 1)
+	mustCons(t, p, "c3", map[Var]float64{x: 1, y: 1}, LE, 2)
+	sol := solveOrFatal(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want Optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("objective = %g, want 2", sol.Objective)
+	}
+	for i, v := range sol.X {
+		if v < -1e-9 {
+			t.Fatalf("x[%d] = %g, want nonnegative", i, v)
+		}
+	}
+}

@@ -189,6 +189,13 @@ func (p *Profile) Classes() []RateClass {
 	return out
 }
 
+// NumClasses returns the number of rate classes.
+func (p *Profile) NumClasses() int { return len(p.classes) }
+
+// Class returns the i-th rate class in descending rate order. It is the
+// allocation-free companion of Classes for hot loops.
+func (p *Profile) Class(i int) RateClass { return p.classes[i] }
+
 // Exponent returns the path-loss exponent.
 func (p *Profile) Exponent() float64 { return p.exponent }
 

@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke check
+# The tier-1 benchmarks the regression gate watches: the end-to-end
+# query, the enumeration and LP hot paths, and the simulator kernels.
+TIER1_BENCH = ^(BenchmarkAvailableBandwidthQuery|BenchmarkEnumerateScenarioII|BenchmarkSolveEq6Shape|BenchmarkRunScheduleScenarioII|BenchmarkRunFlowsScenarioII|BenchmarkCSMAScenarioI)$$
+BENCH_COUNT ?= 5
+BENCH_JSON ?= BENCH_$(shell date -u +%Y-%m-%d).json
+
+.PHONY: all build test vet race bench bench-smoke bench-json bench-gate golden check
 
 all: check
 
@@ -25,6 +31,28 @@ bench:
 # without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -short -run=^$$ -bench=. -benchtime=1x ./...
+
+# Run the tier-1 benchmarks BENCH_COUNT times each and snapshot the
+# samples as $(BENCH_JSON) — commit the file to refresh the baseline.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(TIER1_BENCH)' -benchmem -count $(BENCH_COUNT) ./... \
+		| $(GO) run ./cmd/abwbench parse -o $(BENCH_JSON)
+	@echo wrote $(BENCH_JSON)
+
+# Fresh tier-1 run judged against the newest committed baseline: fails
+# on a >15% median ns/op regression significant at p<0.05.
+bench-gate:
+	@base=$$(ls BENCH_*.json | sort | tail -1); \
+	if [ -z "$$base" ]; then echo "bench-gate: no committed BENCH_*.json baseline" >&2; exit 1; fi; \
+	echo "gating against $$base"; \
+	$(GO) test -run '^$$' -bench '$(TIER1_BENCH)' -benchmem -count $(BENCH_COUNT) ./... \
+		| $(GO) run ./cmd/abwbench parse -o /tmp/abw-bench-fresh.json && \
+	$(GO) run ./cmd/abwbench compare -old $$base -new /tmp/abw-bench-fresh.json
+
+# Regenerate the committed golden experiment tables in place; CI diffs
+# the result against the tree to catch silent output drift.
+golden:
+	$(GO) test -run TestGoldenTables ./internal/experiments/ -update
 
 # The gate run in CI: vet + build + race tests + benchmark smoke.
 check: vet build race bench-smoke

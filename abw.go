@@ -141,6 +141,7 @@ type Option func(*config)
 
 type config struct {
 	radioOpts []radio.Option
+	workers   int
 }
 
 // WithCSRangeFactor sets the carrier-sense range as a multiple of the
@@ -155,12 +156,27 @@ func WithNoiseMarginDB(db float64) Option {
 	return func(c *config) { c.radioOpts = append(c.radioOpts, radio.WithNoiseMarginDB(db)) }
 }
 
+// WithWorkers sets the number of concurrent workers independent-set
+// enumeration uses for this system's queries: 0 (the default) picks
+// automatically from GOMAXPROCS and the problem size, 1 or negative
+// forces sequential, larger values force that many workers. Results are
+// identical at every setting.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
 // System is a multirate wireless network under the paper's physical
 // (cumulative SINR) interference model with the four-rate 802.11a
 // profile of Sec. 5.2.
 type System struct {
-	net   *topology.Network
-	model *conflict.Physical
+	net     *topology.Network
+	model   *conflict.Physical
+	workers int
+}
+
+// coreOptions returns the core options every query of this system uses.
+func (s *System) coreOptions() core.Options {
+	return core.Options{Workers: s.workers}
 }
 
 // NewSystem builds a System from a layout.
@@ -180,7 +196,7 @@ func NewSystem(layout Layout, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abw: %w", err)
 	}
-	return &System{net: net, model: conflict.NewPhysical(net)}, nil
+	return &System{net: net, model: conflict.NewPhysical(net), workers: cfg.workers}, nil
 }
 
 // Network returns the underlying topology for advanced use.
@@ -217,7 +233,7 @@ type Result struct {
 // given background flows, assuming globally optimal link scheduling
 // (the paper's Eq. 6 model).
 func (s *System) AvailableBandwidth(background []Flow, path Path) (*Result, error) {
-	res, err := core.AvailableBandwidth(s.model, background, path, core.Options{})
+	res, err := core.AvailableBandwidth(s.model, background, path, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +251,7 @@ func (s *System) PathCapacity(path Path) (*Result, error) {
 
 // UpperBound computes the rate-coupled clique upper bound of Eq. 9.
 func (s *System) UpperBound(background []Flow, path Path) (float64, error) {
-	res, err := core.UpperBoundLP(s.model, background, path, core.Options{})
+	res, err := core.UpperBoundLP(s.model, background, path, s.coreOptions())
 	if err != nil {
 		return 0, err
 	}
@@ -249,7 +265,7 @@ func (s *System) UpperBound(background []Flow, path Path) (float64, error) {
 // background flows induce the carrier-sensed idleness average-e2eD
 // needs; pass nil for an idle network.
 func (s *System) Route(metric RouteMetric, src, dst NodeID, background []Flow) (Path, error) {
-	idle, err := routing.BackgroundIdleness(s.net, s.model, background, core.Options{})
+	idle, err := routing.BackgroundIdleness(s.net, s.model, background, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +294,7 @@ func (s *System) Admit(metric RouteMetric, requests []Request, stopAtFirstFailur
 // global topology knowledge; the returned stats report the protocol
 // cost.
 func (s *System) DistributedRoute(metric RouteMetric, src, dst NodeID, background []Flow) (Path, DVStats, error) {
-	idle, err := routing.BackgroundIdleness(s.net, s.model, background, core.Options{})
+	idle, err := routing.BackgroundIdleness(s.net, s.model, background, s.coreOptions())
 	if err != nil {
 		return nil, DVStats{}, err
 	}
@@ -315,7 +331,7 @@ type DVStats struct {
 // reaching it with the given estimator from carrier-sensed idleness.
 // It returns the path and its estimate.
 func (s *System) RouteByEstimate(metric EstimateMetric, src, dst NodeID, background []Flow) (Path, float64, error) {
-	idle, err := routing.BackgroundIdleness(s.net, s.model, background, core.Options{})
+	idle, err := routing.BackgroundIdleness(s.net, s.model, background, s.coreOptions())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -330,7 +346,7 @@ func (s *System) RouteByEstimate(metric EstimateMetric, src, dst NodeID, backgro
 // bandwidth against the background, using carrier-sensed idleness
 // (paper Sec. 4).
 func (s *System) Estimate(metric EstimateMetric, background []Flow, path Path) (float64, error) {
-	sched, err := routing.BackgroundSchedule(s.model, background, core.Options{})
+	sched, err := routing.BackgroundSchedule(s.model, background, s.coreOptions())
 	if err != nil {
 		return 0, err
 	}
@@ -348,7 +364,7 @@ type Explanation = estimate.Explanation
 // lost: the binding local clique (clique-based estimators) or the
 // binding hop (bottleneck estimator).
 func (s *System) Explain(metric EstimateMetric, background []Flow, path Path) (Explanation, error) {
-	sched, err := routing.BackgroundSchedule(s.model, background, core.Options{})
+	sched, err := routing.BackgroundSchedule(s.model, background, s.coreOptions())
 	if err != nil {
 		return Explanation{}, err
 	}
@@ -361,7 +377,7 @@ func (s *System) Explain(metric EstimateMetric, background []Flow, path Path) (E
 
 // EstimateAll computes all five estimators at once.
 func (s *System) EstimateAll(background []Flow, path Path) (map[EstimateMetric]float64, error) {
-	sched, err := routing.BackgroundSchedule(s.model, background, core.Options{})
+	sched, err := routing.BackgroundSchedule(s.model, background, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -419,7 +435,7 @@ func (s *System) FixedRateCliqueBound(path Path) (float64, error) {
 // FeasibleDemands reports whether the flows can all be delivered
 // simultaneously, returning a delivering schedule when they can.
 func (s *System) FeasibleDemands(flows []Flow) (bool, Schedule, error) {
-	return core.FeasibleDemands(s.model, flows, core.Options{})
+	return core.FeasibleDemands(s.model, flows, s.coreOptions())
 }
 
 // MaxMinFair allocates end-to-end throughput max-min fairly across the
@@ -428,7 +444,7 @@ func (s *System) FeasibleDemands(flows []Flow) (bool, Schedule, error) {
 // positive; Demand 0 means uncapped). Returns per-flow allocations in
 // input order and a delivering schedule.
 func (s *System) MaxMinFair(flows []Flow) ([]float64, Schedule, error) {
-	return core.MaxMinFair(s.model, flows, core.Options{})
+	return core.MaxMinFair(s.model, flows, s.coreOptions())
 }
 
 // MaxDemandScale returns the largest factor theta such that every new
@@ -436,6 +452,6 @@ func (s *System) MaxMinFair(flows []Flow) ([]float64, Schedule, error) {
 // theta >= 1 means jointly admissible (the paper's multi-flow
 // extension).
 func (s *System) MaxDemandScale(background, newFlows []Flow) (float64, error) {
-	theta, _, err := core.MaxDemandScale(s.model, background, newFlows, core.Options{})
+	theta, _, err := core.MaxDemandScale(s.model, background, newFlows, s.coreOptions())
 	return theta, err
 }

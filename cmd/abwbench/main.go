@@ -1,0 +1,397 @@
+// Command abwbench turns `go test -bench` output into committed JSON
+// baselines and gates regressions against them, so CI can fail a pull
+// request that slows the tier-1 benchmarks down. It is a dependency-free
+// stand-in for benchstat: the comparison runs an exact Mann-Whitney U
+// test over the per-run ns/op samples and only flags differences that
+// are both large (beyond -threshold) and statistically significant
+// (below -alpha).
+//
+// Usage:
+//
+//	go test -bench . -count 5 ./... | abwbench parse -o BENCH_20260806.json
+//	abwbench compare -old BENCH_20260806.json -new fresh.json
+//
+// compare exits 1 when any benchmark regresses, 0 otherwise;
+// improvements and insignificant noise are reported but never fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "abwbench: want a subcommand: parse | compare")
+		return 2
+	}
+	switch args[0] {
+	case "parse":
+		return runParse(args[1:], stdin, stdout, stderr)
+	case "compare":
+		return runCompare(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "abwbench: unknown subcommand %q (want parse or compare)\n", args[0])
+		return 2
+	}
+}
+
+// Baseline is the committed benchmark snapshot.
+type Baseline struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's samples, one entry per -count run.
+type Benchmark struct {
+	Name        string    `json:"name"`
+	NsPerOp     []float64 `json:"nsPerOp"`
+	AllocsPerOp []float64 `json:"allocsPerOp,omitempty"`
+	BytesPerOp  []float64 `json:"bytesPerOp,omitempty"`
+}
+
+func runParse(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("abwbench parse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in   = fs.String("i", "", "benchmark output file (default: stdin)")
+		out  = fs.String("o", "", "output JSON file (default: stdout)")
+		date = fs.String("date", time.Now().UTC().Format("2006-01-02"), "date stamp for the baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "abwbench:", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	b, err := parseBenchOutput(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "abwbench:", err)
+		return 1
+	}
+	if len(b.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "abwbench: no benchmark lines in input")
+		return 1
+	}
+	b.Date = *date
+	b.GoVersion = runtime.Version()
+	b.GOOS = runtime.GOOS
+	b.GOARCH = runtime.GOARCH
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "abwbench:", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "abwbench: closing output:", err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		fmt.Fprintln(stderr, "abwbench:", err)
+		return 1
+	}
+	return 0
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo-8   1000   123456 ns/op   96 B/op   2 allocs/op
+//
+// The -N suffix is GOMAXPROCS, not part of the benchmark's identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+func parseBenchOutput(r io.Reader) (*Baseline, error) {
+	byName := make(map[string]*Benchmark)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name}
+			byName[name] = b
+			order = append(order, name)
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("abwbench: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		b.NsPerOp = append(b.NsPerOp, ns)
+		if m[3] != "" {
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("abwbench: bad B/op in %q: %w", sc.Text(), err)
+			}
+			b.BytesPerOp = append(b.BytesPerOp, v)
+		}
+		if m[4] != "" {
+			v, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("abwbench: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			b.AllocsPerOp = append(b.AllocsPerOp, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("abwbench: reading input: %w", err)
+	}
+	out := &Baseline{}
+	for _, name := range order {
+		out.Benchmarks = append(out.Benchmarks, *byName[name])
+	}
+	return out, nil
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("abwbench compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		oldPath   = fs.String("old", "", "baseline JSON (required)")
+		newPath   = fs.String("new", "", "fresh JSON to judge (required)")
+		threshold = fs.Float64("threshold", 0.15, "relative ns/op regression that fails the gate")
+		alpha     = fs.Float64("alpha", 0.05, "significance level of the Mann-Whitney U test")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(stderr, "abwbench: compare needs -old and -new")
+		return 2
+	}
+	oldB, err := readBaseline(*oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "abwbench:", err)
+		return 1
+	}
+	newB, err := readBaseline(*newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "abwbench:", err)
+		return 1
+	}
+	oldByName := make(map[string]Benchmark, len(oldB.Benchmarks))
+	for _, b := range oldB.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	fmt.Fprintf(stdout, "comparing against baseline %s (%s %s/%s)\n",
+		oldB.Date, oldB.GoVersion, oldB.GOOS, oldB.GOARCH)
+	fmt.Fprintf(stdout, "%-44s %12s %12s %8s %8s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "p", "verdict")
+	failed := false
+	for _, nb := range newB.Benchmarks {
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-44s %12s %12.0f %8s %8s  new benchmark\n",
+				nb.Name, "-", median(nb.NsPerOp), "-", "-")
+			continue
+		}
+		res := judge(ob.NsPerOp, nb.NsPerOp, *threshold, *alpha)
+		fmt.Fprintf(stdout, "%-44s %12.0f %12.0f %+7.1f%% %8.3f  %s\n",
+			nb.Name, res.oldMedian, res.newMedian, 100*res.delta, res.p, res.verdict)
+		if res.verdict == verdictRegression {
+			failed = true
+		}
+	}
+	for _, ob := range oldB.Benchmarks {
+		if !hasBench(newB.Benchmarks, ob.Name) {
+			fmt.Fprintf(stdout, "%-44s %12.0f %12s %8s %8s  MISSING from new run\n",
+				ob.Name, median(ob.NsPerOp), "-", "-", "-")
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(stdout, "FAIL: benchmark regression gate")
+		return 1
+	}
+	fmt.Fprintln(stdout, "ok: no significant regressions")
+	return 0
+}
+
+func hasBench(bs []Benchmark, name string) bool {
+	for _, b := range bs {
+		if b.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+const (
+	verdictRegression  = "REGRESSION"
+	verdictImprovement = "improvement"
+	verdictSame        = "~"
+)
+
+type judgement struct {
+	oldMedian, newMedian float64
+	delta                float64 // (new-old)/old on medians
+	p                    float64 // two-sided exact Mann-Whitney p
+	verdict              string
+}
+
+// judge compares two ns/op sample sets. A regression needs both a
+// median slowdown beyond threshold and Mann-Whitney significance below
+// alpha, so single-run noise on a loaded CI machine cannot fail the
+// gate by itself.
+func judge(oldNs, newNs []float64, threshold, alpha float64) judgement {
+	j := judgement{
+		oldMedian: median(oldNs),
+		newMedian: median(newNs),
+		p:         mannWhitney(oldNs, newNs),
+		verdict:   verdictSame,
+	}
+	j.delta = (j.newMedian - j.oldMedian) / j.oldMedian
+	if j.p < alpha {
+		switch {
+		case j.delta > threshold:
+			j.verdict = verdictRegression
+		case j.delta < 0:
+			j.verdict = verdictImprovement
+		}
+	}
+	return j
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitney returns the exact two-sided p-value of the Mann-Whitney U
+// test for the two samples: the probability, over all C(n+m, n)
+// relabelings of the pooled values, of a U statistic at least as far
+// from its mean nm/2 as the observed one. Ties contribute 1/2 to U
+// (mid-rank convention) and are handled exactly by the enumeration. The
+// sample sizes here are -count runs (a handful), so full enumeration is
+// cheap.
+func mannWhitney(x, y []float64) float64 {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	pooled := make([]float64, 0, n+m)
+	pooled = append(pooled, x...)
+	pooled = append(pooled, y...)
+	// U for a given labeling, doubled to stay integral under the
+	// mid-rank tie convention.
+	u2 := func(isX []bool) int {
+		u := 0
+		for i := range pooled {
+			if !isX[i] {
+				continue
+			}
+			for j := range pooled {
+				if isX[j] {
+					continue
+				}
+				switch {
+				case pooled[i] < pooled[j]:
+					u += 2
+				case pooled[i] == pooled[j]:
+					u++
+				}
+			}
+		}
+		return u
+	}
+	isX := make([]bool, n+m)
+	for i := 0; i < n; i++ {
+		isX[i] = true
+	}
+	obs := u2(isX)
+	mean2 := n * m // 2 * nm/2
+	dist := abs(obs - mean2)
+
+	// Walk every n-subset of the pooled indices.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	total, extreme := 0, 0
+	for {
+		for i := range isX {
+			isX[i] = false
+		}
+		for _, i := range idx {
+			isX[i] = true
+		}
+		total++
+		if abs(u2(isX)-mean2) >= dist {
+			extreme++
+		}
+		// Next combination in lexicographic order.
+		i := n - 1
+		for i >= 0 && idx[i] == i+m {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for k := i + 1; k < n; k++ {
+			idx[k] = idx[k-1] + 1
+		}
+	}
+	return float64(extreme) / float64(total)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

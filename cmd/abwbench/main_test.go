@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: abw
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAvailableBandwidthQuery-8   	     100	    100000 ns/op	   58216 B/op	     102 allocs/op
+BenchmarkAvailableBandwidthQuery-8   	     100	    101000 ns/op	   58216 B/op	     102 allocs/op
+BenchmarkEnumerateScenarioII         	    5000	      2000 ns/op
+PASS
+ok  	abw	1.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	b, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(b.Benchmarks), b.Benchmarks)
+	}
+	q := b.Benchmarks[0]
+	if q.Name != "BenchmarkAvailableBandwidthQuery" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", q.Name)
+	}
+	if len(q.NsPerOp) != 2 || q.NsPerOp[0] != 100000 || q.NsPerOp[1] != 101000 {
+		t.Errorf("ns/op samples = %v", q.NsPerOp)
+	}
+	if len(q.AllocsPerOp) != 2 || q.AllocsPerOp[0] != 102 {
+		t.Errorf("allocs/op samples = %v", q.AllocsPerOp)
+	}
+	e := b.Benchmarks[1]
+	if e.Name != "BenchmarkEnumerateScenarioII" || len(e.NsPerOp) != 1 || e.NsPerOp[0] != 2000 {
+		t.Errorf("second benchmark = %+v", e)
+	}
+	if len(e.AllocsPerOp) != 0 {
+		t.Errorf("benchmark without -benchmem got allocs %v", e.AllocsPerOp)
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	cases := []struct {
+		x, y []float64
+		want float64
+	}{
+		// Complete separation of 5 vs 5: only the two extreme labelings
+		// are as extreme, p = 2/C(10,5) = 2/252.
+		{[]float64{1, 2, 3, 4, 5}, []float64{6, 7, 8, 9, 10}, 2.0 / 252},
+		{[]float64{6, 7, 8, 9, 10}, []float64{1, 2, 3, 4, 5}, 2.0 / 252},
+		// Identical samples: every labeling ties the observed U.
+		{[]float64{5, 5, 5}, []float64{5, 5, 5}, 1},
+		// Interleaved samples are indistinguishable: p stays large.
+		{[]float64{1, 3, 5, 7}, []float64{2, 4, 6, 8}, 0.5},
+	}
+	for _, c := range cases {
+		got := mannWhitney(c.x, c.y)
+		if math.Abs(got-c.want) > 1e-9 && !(c.want == 0.5 && got >= 0.4) {
+			t.Errorf("mannWhitney(%v, %v) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestJudge(t *testing.T) {
+	old := []float64{100, 101, 102, 99, 100}
+	cases := []struct {
+		name    string
+		newNs   []float64
+		verdict string
+	}{
+		{"clear regression", []float64{130, 131, 129, 132, 130}, verdictRegression},
+		{"small slowdown under threshold", []float64{108, 109, 107, 108, 109}, verdictSame},
+		{"improvement", []float64{80, 81, 79, 82, 80}, verdictImprovement},
+		{"noise", []float64{100, 102, 99, 101, 100}, verdictSame},
+	}
+	for _, c := range cases {
+		j := judge(old, c.newNs, 0.15, 0.05)
+		if j.verdict != c.verdict {
+			t.Errorf("%s: verdict %q (delta %.2f, p %.3f), want %q",
+				c.name, j.verdict, j.delta, j.p, c.verdict)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %g", m)
+	}
+}
+
+// TestEndToEnd drives parse and compare through run: a fresh run with a
+// big slowdown on one benchmark must fail the gate, and the baseline
+// compared against itself must pass.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"parse", "-o", oldPath, "-date", "2026-08-06"},
+		strings.NewReader(benchRuns(100000, 2000)), &stdout, &stderr); code != 0 {
+		t.Fatalf("parse: exit %d: %s", code, stderr.String())
+	}
+	var b Baseline
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Date != "2026-08-06" || len(b.Benchmarks) != 2 || len(b.Benchmarks[0].NsPerOp) != 5 {
+		t.Fatalf("unexpected baseline: %+v", b)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"compare", "-old", oldPath, "-new", oldPath}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-compare: exit %d: %s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok: no significant regressions") {
+		t.Errorf("self-compare output: %s", stdout.String())
+	}
+
+	slowPath := filepath.Join(dir, "slow.json")
+	if code := run([]string{"parse", "-o", slowPath},
+		strings.NewReader(benchRuns(150000, 2000)), &stdout, &stderr); code != 0 {
+		t.Fatalf("parse slow: exit %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"compare", "-old", oldPath, "-new", slowPath}, nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("regression compare: exit %d, want 1: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), verdictRegression) {
+		t.Errorf("regression not reported: %s", stdout.String())
+	}
+}
+
+// benchRuns fabricates 5-count output for two benchmarks with mild
+// run-to-run spread around the given ns/op centers.
+func benchRuns(q, e int) string {
+	var sb strings.Builder
+	for i := 0; i < 5; i++ {
+		jitter := (i - 2) * (q / 200)
+		fmt.Fprintf(&sb, "BenchmarkAvailableBandwidthQuery-8 \t100\t%d ns/op\n", q+jitter)
+		fmt.Fprintf(&sb, "BenchmarkEnumerateScenarioII-8 \t100\t%d ns/op\n", e+(i-2))
+	}
+	return sb.String()
+}

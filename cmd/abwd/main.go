@@ -33,6 +33,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("abwd", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "enumeration workers (0 = automatic, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,8 +43,10 @@ func run(args []string) int {
 		return 1
 	}
 	fmt.Printf("abwd listening on %s\n", ln.Addr())
+	s := server.New()
+	s.SetWorkers(*workers)
 	srv := &http.Server{
-		Handler:           server.New().Handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {

@@ -35,8 +35,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("abwlp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in  = fs.String("i", "", "input JSON file (default: stdin)")
-		out = fs.String("o", "", "output JSON file (default: stdout)")
+		in      = fs.String("i", "", "input JSON file (default: stdin)")
+		out     = fs.String("o", "", "output JSON file (default: stdout)")
+		workers = fs.Int("workers", 0, "enumeration workers (0 = automatic or the spec's \"workers\" field, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,6 +72,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "abwlp:", err)
 		return 1
+	}
+	if *workers != 0 {
+		spec.Workers = *workers
 	}
 	ans, err := netjson.Solve(spec)
 	if err != nil {

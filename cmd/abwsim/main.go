@@ -30,6 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		exp  = fs.String("e", "", "run a single experiment by ID (e.g. E4)")
 		out  = fs.String("o", "", "write output to this file instead of stdout")
 		md   = fs.Bool("md", false, "render tables as GitHub Markdown")
+		par  = fs.Int("workers", 0, "concurrent experiments when running all (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tables = append(tables, tbl)
 	} else {
 		var err error
-		tables, err = experiments.RunAllParallel(0)
+		tables, err = experiments.RunAllParallel(*par)
 		if err != nil {
 			fmt.Fprintln(stderr, "abwsim:", err)
 			return 1

@@ -42,6 +42,15 @@ type Options struct {
 	// LP enumerates (0 = 4096). The paper notes Omega can reach Z^L and
 	// proposes restricted enumerations; exceeding the cap is an error.
 	OmegaLimit int
+	// Workers sets the number of concurrent enumeration workers (see
+	// indepset.Options.Workers): 0 picks automatically, 1 or negative
+	// forces sequential, >1 forces that many workers.
+	Workers int
+}
+
+// indepOptions translates the core options into enumeration options.
+func (o Options) indepOptions() indepset.Options {
+	return indepset.Options{Limit: o.SetLimit, Workers: o.Workers}
 }
 
 func (o Options) omegaLimit() int {
@@ -87,7 +96,7 @@ func AvailableBandwidth(m conflict.Model, background []Flow, newPath topology.Pa
 	paths = append(paths, newPath)
 	universe := topology.LinkUnion(paths...)
 
-	sets, err := indepset.Enumerate(m, universe, indepset.Options{Limit: opts.SetLimit})
+	sets, err := indepset.Enumerate(m, universe, opts.indepOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -112,7 +121,7 @@ func AvailableBandwidthLowerBound(m conflict.Model, background []Flow, newPath t
 	}
 	paths = append(paths, newPath)
 	universe := topology.LinkUnion(paths...)
-	sets, truncated, err := indepset.EnumeratePartial(m, universe, indepset.Options{Limit: opts.SetLimit})
+	sets, truncated, err := indepset.EnumeratePartial(m, universe, opts.indepOptions())
 	if err != nil {
 		return nil, false, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -213,7 +222,7 @@ func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedu
 		paths = append(paths, f.Path)
 	}
 	universe := topology.LinkUnion(paths...)
-	sets, err := indepset.Enumerate(m, universe, indepset.Options{Limit: opts.SetLimit})
+	sets, err := indepset.Enumerate(m, universe, opts.indepOptions())
 	if err != nil {
 		return false, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -292,7 +301,7 @@ func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options)
 		paths = append(paths, f.Path)
 	}
 	universe := topology.LinkUnion(paths...)
-	sets, err := indepset.Enumerate(m, universe, indepset.Options{Limit: opts.SetLimit})
+	sets, err := indepset.Enumerate(m, universe, opts.indepOptions())
 	if err != nil {
 		return 0, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}

@@ -119,6 +119,58 @@ func BenchmarkEnumerateTableRandom(b *testing.B) {
 	}
 }
 
+// Worker-scaling benchmarks: the same enumeration at 1/2/4/8 workers on
+// the biggest walks above. On a multi-core machine the mesh walk is
+// wide enough (40 links) to show near-linear scaling; compare with
+// `go test -bench=Workers -benchmem ./internal/indepset/`.
+
+func benchMeshWorkers(b *testing.B, workers int) {
+	b.Helper()
+	net, err := topology.New(radio.NewProfile80211a(),
+		geom.GridPoints(9, 3, 80))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := conflict.NewPhysical(net)
+	links := make([]topology.LinkID, 0, net.NumLinks())
+	for _, l := range net.Links() {
+		links = append(links, l.ID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(m, links, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateMeshWorkers1(b *testing.B) { benchMeshWorkers(b, 1) }
+func BenchmarkEnumerateMeshWorkers2(b *testing.B) { benchMeshWorkers(b, 2) }
+func BenchmarkEnumerateMeshWorkers4(b *testing.B) { benchMeshWorkers(b, 4) }
+func BenchmarkEnumerateMeshWorkers8(b *testing.B) { benchMeshWorkers(b, 8) }
+
+func benchProtocolChainWorkers(b *testing.B, workers int) {
+	b.Helper()
+	net, path, err := topology.Chain(radio.NewProfile80211a(), 12, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := conflict.NewProtocol(net)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(m, path, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateProtocolWorkers1(b *testing.B) { benchProtocolChainWorkers(b, 1) }
+func BenchmarkEnumerateProtocolWorkers2(b *testing.B) { benchProtocolChainWorkers(b, 2) }
+func BenchmarkEnumerateProtocolWorkers4(b *testing.B) { benchProtocolChainWorkers(b, 4) }
+func BenchmarkEnumerateProtocolWorkers8(b *testing.B) { benchProtocolChainWorkers(b, 8) }
+
 // BenchmarkEnumerateFallback exercises the generic brute-force walk (the
 // path every model took before the specialized walks existed) on a
 // 6-hop physical chain, for comparison against the incremental paths.

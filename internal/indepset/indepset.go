@@ -23,12 +23,18 @@
 // per-link bitmasks of the rates still clearing every member, so a push
 // only checks the newly added couple against the current members.
 // Models that are neither fall back to the brute-force walk.
+//
+// Every walk can also run across goroutines (Options.Workers): the
+// search lattice splits at its first branching levels into independent
+// subtrees, each worker owns its full mutable DFS state, and the merged
+// family is byte-identical to the sequential walk's. See parallel.go
+// for the partitioning, budget-accounting and merge-determinism
+// invariants (DESIGN.md Sec. 8 pins them).
 package indepset
 
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
@@ -142,10 +148,29 @@ var ErrLimit = fmt.Errorf("indepset: enumeration limit exceeded")
 // Options configure enumeration.
 type Options struct {
 	// Limit bounds the number of feasible sets explored; 0 means the
-	// default of 1<<20. The bound is exact: the walk stops before
-	// exploring set Limit+1, and a truncated EnumeratePartial hands back
-	// at most Limit sets.
+	// default of 1<<20. The bound is exact, also under parallelism
+	// (workers charge one shared budget): at most Limit sets are
+	// explored in total, the walk stops before exploring set Limit+1,
+	// and a truncated EnumeratePartial hands back at most Limit sets.
 	Limit int
+
+	// Workers sets the number of concurrent enumeration workers:
+	//
+	//	 0   automatic — GOMAXPROCS workers for universes of at least
+	//	     ten links, sequential below that (tiny walks finish faster
+	//	     than workers start);
+	//	 1   sequential (any negative value likewise);
+	//	>1   exactly that many workers, regardless of universe size.
+	//
+	// A parallel enumeration returns the byte-identical set family of
+	// the sequential walk (same Set.Key order). The conflict model must
+	// be safe for concurrent read-only use when Workers != 1; every
+	// model in internal/conflict is immutable after construction and
+	// qualifies. A truncated parallel EnumeratePartial explores exactly
+	// Limit sets like the sequential walk, but scheduling decides which
+	// subtrees those came from, so the (still sound and maximal)
+	// partial family may differ run to run.
+	Workers int
 }
 
 func (o Options) limit() int {
@@ -182,15 +207,17 @@ func EnumeratePartial(m conflict.Model, links []topology.LinkID, opts Options) (
 
 func enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
 	universe := dedupSorted(links)
+	limit := opts.limit()
+	workers := opts.workerCount(len(universe))
 	var out []Set
 	var err error
 	switch mm := m.(type) {
 	case *conflict.Physical:
-		out, err = enumeratePhysical(mm, universe, opts.limit())
+		out, err = enumeratePhysical(mm, universe, limit, workers)
 	case conflict.PairwiseModel:
-		out, err = enumeratePairwise(mm, universe, opts.limit())
+		out, err = enumeratePairwise(mm, universe, limit, workers)
 	default:
-		out, err = enumerateFallback(m, universe, opts.limit())
+		out, err = enumerateFallback(m, universe, limit, workers)
 	}
 	truncated := errors.Is(err, ErrLimit)
 	if err != nil && !truncated {
@@ -257,358 +284,6 @@ func IsMaximal(m conflict.Model, s Set, universe []topology.LinkID) bool {
 		}
 	}
 	return true
-}
-
-// enumeratePhysical walks link subsets; under the physical model the
-// maximum supported rate vector is a function of membership, and
-// interference only grows with additions, so infeasible subsets prune
-// their supersets. Rate-maximality is automatic (every member already
-// carries its maximum supported rate), and link-maximality is decided
-// at each node from the tracker's running interference sums: an outside
-// link joins exactly when it sustains some positive declared rate and
-// lowers no member's rate.
-func enumeratePhysical(m *conflict.Physical, universe []topology.LinkID, limit int) ([]Set, error) {
-	n := len(universe)
-	if n == 0 {
-		return nil, nil
-	}
-	tr := m.NewSetTracker(universe)
-	// minRate[i] is the lowest positive declared rate of universe[i]: the
-	// weakest couple it could join a set with. Links with no positive
-	// declared rate can never join (nor appear).
-	minRate := make([]radio.Rate, n)
-	for i, l := range universe {
-		minRate[i] = m.MinPositiveRate(l)
-	}
-
-	var out []Set
-	explored := 0
-	members := make([]int, 0, n)
-	isMember := make([]bool, n)
-	rateBuf := make([]radio.Rate, n)
-	var arena []conflict.Couple // chunked backing for materialized sets
-
-	var rec func(start int) error
-	rec = func(start int) error {
-		if len(members) > 0 {
-			// Feasibility: every member must keep a positive max rate.
-			for d, mi := range members {
-				r := tr.MaxRate(mi)
-				if r == 0 {
-					return nil // some member silenced: prune subtree
-				}
-				rateBuf[d] = r
-			}
-			if explored == limit {
-				return ErrLimit
-			}
-			explored++
-			if physicalMaximal(tr, members, isMember, rateBuf, minRate, n) {
-				if cap(arena)-len(arena) < len(members) {
-					arena = make([]conflict.Couple, 0, 16*n)
-				}
-				base := len(arena)
-				for d, mi := range members {
-					arena = append(arena, conflict.Couple{Link: universe[mi], Rate: rateBuf[d]})
-				}
-				couples := arena[base:len(arena):len(arena)]
-				out = append(out, Set{Couples: couples}) // members ascend, so couples are sorted
-			}
-		}
-		for i := start; i < n; i++ {
-			tr.Push(i)
-			members = append(members, i)
-			isMember[i] = true
-			err := rec(i + 1)
-			isMember[i] = false
-			members = members[:len(members)-1]
-			tr.Pop()
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := rec(0); err != nil {
-		return out, err
-	}
-	return out, nil
-}
-
-// physicalMaximal reports link-maximality of the tracker's current
-// member set (rates in rateBuf): no outside link may join at any
-// positive declared rate while every member keeps its rate. Under the
-// physical model a joining link can only lower member rates, so
-// "keeps" means the recomputed rate with the joiner's interference
-// added stays at least the current one.
-func physicalMaximal(tr *conflict.SetTracker, members []int, isMember []bool, rateBuf, minRate []radio.Rate, n int) bool {
-	for j := 0; j < n; j++ {
-		if isMember[j] || minRate[j] == 0 {
-			continue
-		}
-		if tr.MaxRate(j) < minRate[j] {
-			continue // blocked or silenced: cannot join at any declared rate
-		}
-		joins := true
-		for d, mi := range members {
-			if tr.MaxRateJoined(mi, j) < rateBuf[d] {
-				joins = false
-				break
-			}
-		}
-		if joins {
-			return false
-		}
-	}
-	return true
-}
-
-// enumeratePairwise walks (link, rate) couple assignments in link order
-// for models whose feasibility decomposes pairwise. It maintains, for
-// every universe link, a bitmask of the declared rates that still clear
-// every current member (bit k = k-th declared rate, descending), so
-// adding a couple only checks the new couple against current members,
-// and leaf maximality is a handful of mask intersections instead of
-// from-scratch feasibility calls.
-func enumeratePairwise(m conflict.PairwiseModel, universe []topology.LinkID, limit int) ([]Set, error) {
-	n := len(universe)
-	if n == 0 {
-		return nil, nil
-	}
-	// Positive declared rates per link, preserving the model's descending
-	// order. Non-positive rates can never appear in a feasible couple.
-	rates := make([][]radio.Rate, n)
-	for i, l := range universe {
-		for _, r := range m.Rates(l) {
-			if r > 0 {
-				rates[i] = append(rates[i], r)
-			}
-		}
-		if len(rates[i]) > 64 {
-			// Masks are uint64; absurd rate counts take the slow path.
-			return enumerateFallback(m, universe, limit)
-		}
-	}
-	// clear[i][j][rj] is the mask of link i's rates that clear the couple
-	// (universe[j], rates[j][rj]). The diagonal is all-ones: a link never
-	// constrains itself (MaxRate ignores couples on the queried link).
-	clear := make([][][]uint64, n)
-	for i := range clear {
-		clear[i] = make([][]uint64, n)
-		for j := range clear[i] {
-			masks := make([]uint64, len(rates[j]))
-			if i == j {
-				for rj := range masks {
-					masks[rj] = ^uint64(0)
-				}
-			} else {
-				for rj := range masks {
-					other := conflict.Couple{Link: universe[j], Rate: rates[j][rj]}
-					var bm uint64
-					for ri, r := range rates[i] {
-						if m.RateClears(universe[i], r, other) {
-							bm |= 1 << uint(ri)
-						}
-					}
-					masks[rj] = bm
-				}
-			}
-			clear[i][j] = masks
-		}
-	}
-
-	avail := make([]uint64, n) // rates of each link clearing every member
-	for i := range avail {
-		avail[i] = (uint64(1) << uint(len(rates[i]))) - 1
-	}
-	saved := make([][]uint64, n)
-	for d := range saved {
-		saved[d] = make([]uint64, n)
-	}
-	type member struct {
-		pos int
-		ri  int
-		ge  uint64 // mask of declared rates at least the chosen one
-	}
-	members := make([]member, 0, n)
-	isMember := make([]bool, n)
-
-	maximal := func() bool {
-		// Rate-maximality: some member could be raised to a higher
-		// declared rate with every other member keeping its rate.
-		for ii := range members {
-			a := &members[ii]
-			// The member itself sustains a raise to index rj exactly when
-			// some still-clearing rate is at least rates[a.pos][rj], i.e.
-			// rj is at or below the best clearing rate.
-			for rj := bits.TrailingZeros64(avail[a.pos]); rj < a.ri; rj++ {
-				ok := true
-				for jj := range members {
-					if jj == ii {
-						continue
-					}
-					b := &members[jj]
-					// b's rates clearing every member except a, plus a at
-					// its raised rate.
-					mask := clear[b.pos][a.pos][rj]
-					for kk := range members {
-						if kk == ii || kk == jj {
-							continue
-						}
-						c := &members[kk]
-						mask &= clear[b.pos][c.pos][c.ri]
-					}
-					if mask&b.ge == 0 {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					return false
-				}
-			}
-		}
-		// Link-maximality: some outside link could join at a declared
-		// rate with every member keeping its rate.
-		for j := 0; j < n; j++ {
-			if isMember[j] || avail[j] == 0 {
-				continue
-			}
-			for rj := bits.TrailingZeros64(avail[j]); rj < len(rates[j]); rj++ {
-				ok := true
-				for ii := range members {
-					a := &members[ii]
-					if avail[a.pos]&clear[a.pos][j][rj]&a.ge == 0 {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					return false
-				}
-			}
-		}
-		return true
-	}
-
-	var out []Set
-	explored := 0
-	var rec func(idx int) error
-	rec = func(idx int) error {
-		if idx == n {
-			if len(members) == 0 {
-				return nil
-			}
-			if explored == limit {
-				return ErrLimit
-			}
-			explored++
-			if maximal() {
-				couples := make([]conflict.Couple, len(members))
-				for d := range members {
-					a := &members[d]
-					couples[d] = conflict.Couple{Link: universe[a.pos], Rate: rates[a.pos][a.ri]}
-				}
-				out = append(out, Set{Couples: couples}) // idx order = link order
-			}
-			return nil
-		}
-		// Exclude universe[idx].
-		if err := rec(idx + 1); err != nil {
-			return err
-		}
-		// Include at each rate that keeps the partial set feasible: the
-		// new couple must be sustainable against the members (some
-		// clearing rate at or above it) and every member must retain a
-		// clearing rate at or above its own.
-		for ri := range rates[idx] {
-			ge := (uint64(1) << uint(ri+1)) - 1
-			if avail[idx]&ge == 0 {
-				continue
-			}
-			feasible := true
-			for ii := range members {
-				a := &members[ii]
-				if avail[a.pos]&clear[a.pos][idx][ri]&a.ge == 0 {
-					feasible = false
-					break
-				}
-			}
-			if !feasible {
-				continue
-			}
-			d := len(members)
-			copy(saved[d], avail)
-			for j := 0; j < n; j++ {
-				avail[j] &= clear[j][idx][ri]
-			}
-			members = append(members, member{pos: idx, ri: ri, ge: ge})
-			isMember[idx] = true
-			err := rec(idx + 1)
-			isMember[idx] = false
-			members = members[:d]
-			copy(avail, saved[d])
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := rec(0); err != nil {
-		return out, err
-	}
-	return out, nil
-}
-
-// enumerateFallback is the brute-force walk for models that are neither
-// physical nor pairwise: it materializes every feasible couple
-// assignment (feasibility must be downward monotone in set inclusion)
-// and post-filters with the reference IsMaximal predicate.
-func enumerateFallback(m conflict.Model, universe []topology.LinkID, limit int) ([]Set, error) {
-	var all []Set
-	var cur []conflict.Couple
-	var rec func(idx int) error
-	rec = func(idx int) error {
-		if idx == len(universe) {
-			if len(cur) > 0 {
-				if len(all) == limit {
-					return ErrLimit
-				}
-				all = append(all, NewSet(cur...))
-			}
-			return nil
-		}
-		// Exclude universe[idx].
-		if err := rec(idx + 1); err != nil {
-			return err
-		}
-		// Include at each rate that keeps the partial set feasible.
-		for _, r := range m.Rates(universe[idx]) {
-			cur = append(cur, conflict.Couple{Link: universe[idx], Rate: r})
-			if conflict.Feasible(m, cur) {
-				if err := rec(idx + 1); err != nil {
-					cur = cur[:len(cur)-1]
-					return err
-				}
-			}
-			cur = cur[:len(cur)-1]
-		}
-		return nil
-	}
-	err := rec(0)
-	if err != nil && !errors.Is(err, ErrLimit) {
-		return nil, err
-	}
-	out := make([]Set, 0, len(all))
-	for _, s := range all {
-		if s.Len() == 0 {
-			continue
-		}
-		if IsMaximal(m, s, universe) {
-			out = append(out, s)
-		}
-	}
-	return out, err
 }
 
 func dedupSorted(links []topology.LinkID) []topology.LinkID {

@@ -1,0 +1,297 @@
+package indepset
+
+import (
+	"math/bits"
+
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// enumeratePairwise walks (link, rate) couple assignments in link order
+// for models whose feasibility decomposes pairwise. It maintains, for
+// every universe link, a bitmask of the declared rates that still clear
+// every current member (bit k = k-th declared rate, descending), so
+// adding a couple only checks the new couple against current members,
+// and leaf maximality is a handful of mask intersections instead of
+// from-scratch feasibility calls.
+//
+// With workers > 1 the assignment lattice is split at its first levels
+// (choiceTasks); the clear-mask table is built once and shared
+// read-only, each worker owning only its avail/member stacks.
+func enumeratePairwise(m conflict.PairwiseModel, universe []topology.LinkID, limit, workers int) ([]Set, error) {
+	n := len(universe)
+	if n == 0 {
+		return nil, nil
+	}
+	// Positive declared rates per link, preserving the model's descending
+	// order. Non-positive rates can never appear in a feasible couple.
+	rates := make([][]radio.Rate, n)
+	for i, l := range universe {
+		for _, r := range m.Rates(l) {
+			if r > 0 {
+				rates[i] = append(rates[i], r)
+			}
+		}
+		if len(rates[i]) > 64 {
+			// Masks are uint64; absurd rate counts take the slow path.
+			return enumerateFallback(m, universe, limit, workers)
+		}
+	}
+	// clear[i][j][rj] is the mask of link i's rates that clear the couple
+	// (universe[j], rates[j][rj]). The diagonal is all-ones: a link never
+	// constrains itself (MaxRate ignores couples on the queried link).
+	clear := make([][][]uint64, n)
+	for i := range clear {
+		clear[i] = make([][]uint64, n)
+		for j := range clear[i] {
+			masks := make([]uint64, len(rates[j]))
+			if i == j {
+				for rj := range masks {
+					masks[rj] = ^uint64(0)
+				}
+			} else {
+				for rj := range masks {
+					other := conflict.Couple{Link: universe[j], Rate: rates[j][rj]}
+					var bm uint64
+					for ri, r := range rates[i] {
+						if m.RateClears(universe[i], r, other) {
+							bm |= 1 << uint(ri)
+						}
+					}
+					masks[rj] = bm
+				}
+			}
+			clear[i][j] = masks
+		}
+	}
+	e := &pairwiseEnum{
+		universe: universe,
+		rates:    rates,
+		clear:    clear,
+		n:        n,
+		budget:   newBudget(limit, workers),
+	}
+	if workers <= 1 {
+		w := newPairwiseWorker(e)
+		err := w.rec(0)
+		return w.out, err
+	}
+	tasks := choiceTasks(n, workers, func(i int) int { return len(rates[i]) })
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	return parallelRun(workers, len(tasks), func() (func(int) error, func() []Set) {
+		w := newPairwiseWorker(e)
+		return func(t int) error { return w.runTask(tasks[t]) },
+			func() []Set { return w.out }
+	})
+}
+
+// pairwiseEnum is the read-only state shared by every worker of one
+// pairwise enumeration: the universe, its declared positive rates, and
+// the precomputed clear-mask table.
+type pairwiseEnum struct {
+	universe []topology.LinkID
+	rates    [][]radio.Rate
+	clear    [][][]uint64
+	n        int
+	budget   *budget
+}
+
+type pairMember struct {
+	pos int
+	ri  int
+	ge  uint64 // mask of declared rates at least the chosen one
+}
+
+// pairwiseWorker owns the mutable DFS state of one worker: the
+// per-link masks of rates still clearing every member, their per-depth
+// snapshots, and the member stack.
+type pairwiseWorker struct {
+	e        *pairwiseEnum
+	avail    []uint64 // rates of each link clearing every member
+	saved    [][]uint64
+	members  []pairMember
+	isMember []bool
+	out      []Set
+}
+
+func newPairwiseWorker(e *pairwiseEnum) *pairwiseWorker {
+	n := e.n
+	avail := make([]uint64, n)
+	for i := range avail {
+		avail[i] = (uint64(1) << uint(len(e.rates[i]))) - 1
+	}
+	saved := make([][]uint64, n)
+	sback := make([]uint64, n*n)
+	for d := range saved {
+		saved[d] = sback[d*n : (d+1)*n]
+	}
+	return &pairwiseWorker{
+		e:        e,
+		avail:    avail,
+		saved:    saved,
+		members:  make([]pairMember, 0, n),
+		isMember: make([]bool, n),
+	}
+}
+
+// push includes (universe[idx], rates[idx][ri]) when that keeps the
+// partial set feasible: the new couple must be sustainable against the
+// members (some clearing rate at or above it) and every member must
+// retain a clearing rate at or above its own. It reports whether the
+// couple was pushed; on false the worker state is unchanged.
+func (w *pairwiseWorker) push(idx, ri int) bool {
+	e := w.e
+	ge := (uint64(1) << uint(ri+1)) - 1
+	if w.avail[idx]&ge == 0 {
+		return false
+	}
+	for ii := range w.members {
+		a := &w.members[ii]
+		if w.avail[a.pos]&e.clear[a.pos][idx][ri]&a.ge == 0 {
+			return false
+		}
+	}
+	d := len(w.members)
+	copy(w.saved[d], w.avail)
+	for j := 0; j < e.n; j++ {
+		w.avail[j] &= e.clear[j][idx][ri]
+	}
+	w.members = append(w.members, pairMember{pos: idx, ri: ri, ge: ge})
+	w.isMember[idx] = true
+	return true
+}
+
+func (w *pairwiseWorker) pop() {
+	d := len(w.members) - 1
+	w.isMember[w.members[d].pos] = false
+	w.members = w.members[:d]
+	copy(w.avail, w.saved[d])
+}
+
+// maximal reports whether the current full assignment is maximal.
+func (w *pairwiseWorker) maximal() bool {
+	e := w.e
+	// Rate-maximality: some member could be raised to a higher
+	// declared rate with every other member keeping its rate.
+	for ii := range w.members {
+		a := &w.members[ii]
+		// The member itself sustains a raise to index rj exactly when
+		// some still-clearing rate is at least rates[a.pos][rj], i.e.
+		// rj is at or below the best clearing rate.
+		for rj := bits.TrailingZeros64(w.avail[a.pos]); rj < a.ri; rj++ {
+			ok := true
+			for jj := range w.members {
+				if jj == ii {
+					continue
+				}
+				b := &w.members[jj]
+				// b's rates clearing every member except a, plus a at
+				// its raised rate.
+				mask := e.clear[b.pos][a.pos][rj]
+				for kk := range w.members {
+					if kk == ii || kk == jj {
+						continue
+					}
+					c := &w.members[kk]
+					mask &= e.clear[b.pos][c.pos][c.ri]
+				}
+				if mask&b.ge == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return false
+			}
+		}
+	}
+	// Link-maximality: some outside link could join at a declared
+	// rate with every member keeping its rate.
+	for j := 0; j < e.n; j++ {
+		if w.isMember[j] || w.avail[j] == 0 {
+			continue
+		}
+		for rj := bits.TrailingZeros64(w.avail[j]); rj < len(e.rates[j]); rj++ {
+			ok := true
+			for ii := range w.members {
+				a := &w.members[ii]
+				if w.avail[a.pos]&e.clear[a.pos][j][rj]&a.ge == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// visitLeaf charges the budget for the current full assignment and
+// records it when maximal.
+func (w *pairwiseWorker) visitLeaf() error {
+	if len(w.members) == 0 {
+		return nil
+	}
+	if !w.e.budget.take() {
+		return ErrLimit
+	}
+	if w.maximal() {
+		couples := make([]conflict.Couple, len(w.members))
+		for d := range w.members {
+			a := &w.members[d]
+			couples[d] = conflict.Couple{Link: w.e.universe[a.pos], Rate: w.e.rates[a.pos][a.ri]}
+		}
+		w.out = append(w.out, Set{Couples: couples}) // idx order = link order
+	}
+	return nil
+}
+
+func (w *pairwiseWorker) rec(idx int) error {
+	if idx == w.e.n {
+		return w.visitLeaf()
+	}
+	// Exclude universe[idx].
+	if err := w.rec(idx + 1); err != nil {
+		return err
+	}
+	// Include at each rate that keeps the partial set feasible.
+	for ri := range w.e.rates[idx] {
+		if !w.push(idx, ri) {
+			continue
+		}
+		err := w.rec(idx + 1)
+		w.pop()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *pairwiseWorker) runTask(t choiceTask) error {
+	pushed := 0
+	feasible := true
+	for idx, c := range t.choices {
+		if c < 0 {
+			continue
+		}
+		if !w.push(idx, c) {
+			feasible = false
+			break
+		}
+		pushed++
+	}
+	var err error
+	if feasible {
+		err = w.rec(len(t.choices))
+	}
+	for ; pushed > 0; pushed-- {
+		w.pop()
+	}
+	return err
+}

@@ -1,0 +1,191 @@
+package indepset
+
+import (
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// enumeratePhysical walks link subsets; under the physical model the
+// maximum supported rate vector is a function of membership, and
+// interference only grows with additions, so infeasible subsets prune
+// their supersets. Rate-maximality is automatic (every member already
+// carries its maximum supported rate), and link-maximality is decided
+// at each node from the tracker's running interference sums: an outside
+// link joins exactly when it sustains some positive declared rate and
+// lowers no member's rate.
+//
+// With workers > 1 the subset lattice is split at its first two
+// branching levels (subtreeTasks) and each worker walks its subtrees
+// with a private SetTracker; see parallel.go for the equivalence
+// argument.
+func enumeratePhysical(m *conflict.Physical, universe []topology.LinkID, limit, workers int) ([]Set, error) {
+	n := len(universe)
+	if n == 0 {
+		return nil, nil
+	}
+	e := &physicalEnum{
+		m:        m,
+		universe: universe,
+		minRate:  make([]radio.Rate, n),
+		n:        n,
+		budget:   newBudget(limit, workers),
+	}
+	// minRate[i] is the lowest positive declared rate of universe[i]: the
+	// weakest couple it could join a set with. Links with no positive
+	// declared rate can never join (nor appear).
+	for i, l := range universe {
+		e.minRate[i] = m.MinPositiveRate(l)
+	}
+	if workers <= 1 {
+		w := newPhysicalWorker(e)
+		err := w.rec(0)
+		return w.out, err
+	}
+	tasks := subtreeTasks(n)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	return parallelRun(workers, len(tasks), func() (func(int) error, func() []Set) {
+		w := newPhysicalWorker(e)
+		return func(t int) error { return w.runTask(tasks[t]) },
+			func() []Set { return w.out }
+	})
+}
+
+// physicalEnum is the read-only state shared by every worker of one
+// physical enumeration.
+type physicalEnum struct {
+	m        *conflict.Physical
+	universe []topology.LinkID
+	minRate  []radio.Rate
+	n        int
+	budget   *budget
+}
+
+// physicalWorker owns the mutable DFS state of one worker: an
+// incremental SetTracker plus the member stack and output family.
+type physicalWorker struct {
+	e        *physicalEnum
+	tr       *conflict.SetTracker
+	members  []int
+	isMember []bool
+	rateBuf  []radio.Rate
+	arena    []conflict.Couple // chunked backing for materialized sets
+	out      []Set
+}
+
+func newPhysicalWorker(e *physicalEnum) *physicalWorker {
+	return &physicalWorker{
+		e:        e,
+		tr:       e.m.NewSetTracker(e.universe),
+		members:  make([]int, 0, e.n),
+		isMember: make([]bool, e.n),
+		rateBuf:  make([]radio.Rate, e.n),
+	}
+}
+
+func (w *physicalWorker) push(i int) {
+	w.tr.Push(i)
+	w.members = append(w.members, i)
+	w.isMember[i] = true
+}
+
+func (w *physicalWorker) pop() {
+	i := w.members[len(w.members)-1]
+	w.isMember[i] = false
+	w.members = w.members[:len(w.members)-1]
+	w.tr.Pop()
+}
+
+// visit charges the budget for the current member set and records it
+// when maximal. ok=false prunes the subtree: some member is silenced,
+// and interference only grows with further members.
+func (w *physicalWorker) visit() (ok bool, err error) {
+	e := w.e
+	// Feasibility: every member must keep a positive max rate.
+	for d, mi := range w.members {
+		r := w.tr.MaxRate(mi)
+		if r == 0 {
+			return false, nil
+		}
+		w.rateBuf[d] = r
+	}
+	if !e.budget.take() {
+		return false, ErrLimit
+	}
+	if physicalMaximal(w.tr, w.members, w.isMember, w.rateBuf, e.minRate, e.n) {
+		if cap(w.arena)-len(w.arena) < len(w.members) {
+			w.arena = make([]conflict.Couple, 0, 16*e.n)
+		}
+		base := len(w.arena)
+		for d, mi := range w.members {
+			w.arena = append(w.arena, conflict.Couple{Link: e.universe[mi], Rate: w.rateBuf[d]})
+		}
+		couples := w.arena[base:len(w.arena):len(w.arena)]
+		w.out = append(w.out, Set{Couples: couples}) // members ascend, so couples are sorted
+	}
+	return true, nil
+}
+
+func (w *physicalWorker) rec(start int) error {
+	if len(w.members) > 0 {
+		ok, err := w.visit()
+		if !ok || err != nil {
+			return err
+		}
+	}
+	for i := start; i < w.e.n; i++ {
+		w.push(i)
+		err := w.rec(i + 1)
+		w.pop()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *physicalWorker) runTask(t subtreeTask) error {
+	for k := 0; k < t.plen; k++ {
+		w.push(t.prefix[k])
+	}
+	var err error
+	if t.leafOnly {
+		_, err = w.visit()
+	} else {
+		err = w.rec(t.start)
+	}
+	for k := 0; k < t.plen; k++ {
+		w.pop()
+	}
+	return err
+}
+
+// physicalMaximal reports link-maximality of the tracker's current
+// member set (rates in rateBuf): no outside link may join at any
+// positive declared rate while every member keeps its rate. Under the
+// physical model a joining link can only lower member rates, so
+// "keeps" means the recomputed rate with the joiner's interference
+// added stays at least the current one.
+func physicalMaximal(tr *conflict.SetTracker, members []int, isMember []bool, rateBuf, minRate []radio.Rate, n int) bool {
+	for j := 0; j < n; j++ {
+		if isMember[j] || minRate[j] == 0 {
+			continue
+		}
+		if tr.MaxRate(j) < minRate[j] {
+			continue // blocked or silenced: cannot join at any declared rate
+		}
+		joins := true
+		for d, mi := range members {
+			if tr.MaxRateJoined(mi, j) < rateBuf[d] {
+				joins = false
+				break
+			}
+		}
+		if joins {
+			return false
+		}
+	}
+	return true
+}

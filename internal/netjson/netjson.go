@@ -46,6 +46,14 @@ type Spec struct {
 	CSRangeFactor float64    `json:"csRangeFactor,omitempty"`
 	Background    []FlowSpec `json:"background,omitempty"`
 	Query         QuerySpec  `json:"query"`
+	// Workers sets the enumeration worker count (see
+	// indepset.Options.Workers; 0 = automatic, 1 = sequential). The
+	// answer is identical at every setting.
+	Workers int `json:"workers,omitempty"`
+}
+
+func (s *Spec) coreOptions() core.Options {
+	return core.Options{Workers: s.Workers}
 }
 
 // SlotAnswer is one schedule slot of the answer.
@@ -137,7 +145,7 @@ func (s *Spec) queryPath(net *topology.Network, m conflict.Model, background []c
 			return nil, err
 		}
 	}
-	idle, err := routing.BackgroundIdleness(net, m, background, core.Options{})
+	idle, err := routing.BackgroundIdleness(net, m, background, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +176,7 @@ func Solve(s *Spec) (*Answer, error) {
 		PathNodes: nodeInts(nodes),
 		PathLinks: linkInts(path),
 	}
-	res, err := core.AvailableBandwidth(m, background, path, core.Options{})
+	res, err := core.AvailableBandwidth(m, background, path, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +193,7 @@ func Solve(s *Spec) (*Answer, error) {
 		ans.Schedule = append(ans.Schedule, sa)
 	}
 
-	sched, err := routing.BackgroundSchedule(m, background, core.Options{})
+	sched, err := routing.BackgroundSchedule(m, background, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,12 @@ type Server struct {
 	flows   map[int]*flowRecord
 	nextID  int
 	maxBody int64
+	workers int
+}
+
+// coreOptions returns the core options every computation uses.
+func (s *Server) coreOptions() core.Options {
+	return core.Options{Workers: s.workers}
 }
 
 type flowRecord struct {
@@ -60,6 +66,11 @@ type flowRecord struct {
 func New() *Server {
 	return &Server{flows: make(map[int]*flowRecord), nextID: 1, maxBody: 1 << 20}
 }
+
+// SetWorkers sets the enumeration worker count used by every
+// computation (see indepset.Options.Workers; 0 = automatic). Call
+// before serving requests.
+func (s *Server) SetWorkers(n int) { s.workers = n }
 
 // Handler returns the HTTP handler for the API.
 func (s *Server) Handler() http.Handler {
@@ -313,7 +324,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "no network installed")
 		return
 	}
-	sched, err := routing.BackgroundSchedule(s.model, s.backgroundLocked(), core.Options{})
+	sched, err := routing.BackgroundSchedule(s.model, s.backgroundLocked(), s.coreOptions())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -358,7 +369,7 @@ func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, []fairShareEntry{})
 		return
 	}
-	alloc, _, err := core.MaxMinFair(s.model, flows, core.Options{})
+	alloc, _, err := core.MaxMinFair(s.model, flows, s.coreOptions())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -397,7 +408,7 @@ func (s *Server) resolvePathLocked(nodeIDs []int, src, dst *int, metricName stri
 			return nil, fmt.Errorf("unknown metric %q", metricName)
 		}
 	}
-	idle, err := routing.BackgroundIdleness(s.net, s.model, s.backgroundLocked(), core.Options{})
+	idle, err := routing.BackgroundIdleness(s.net, s.model, s.backgroundLocked(), s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +427,7 @@ func (s *Server) availabilityLocked(path topology.Path) (*queryResponse, error) 
 	for _, n := range nodes {
 		resp.PathNodes = append(resp.PathNodes, int(n))
 	}
-	res, err := core.AvailableBandwidth(s.model, background, path, core.Options{})
+	res, err := core.AvailableBandwidth(s.model, background, path, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +435,7 @@ func (s *Server) availabilityLocked(path topology.Path) (*queryResponse, error) 
 		resp.Feasible = true
 		resp.Bandwidth = res.Bandwidth
 	}
-	sched, err := routing.BackgroundSchedule(s.model, background, core.Options{})
+	sched, err := routing.BackgroundSchedule(s.model, background, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -6,15 +6,31 @@ TIER1_BENCH = ^(BenchmarkAvailableBandwidthQuery|BenchmarkEnumerateScenarioII|Be
 BENCH_COUNT ?= 5
 BENCH_JSON ?= BENCH_$(shell date -u +%Y-%m-%d).json
 
-.PHONY: all build test vet race bench bench-smoke bench-json bench-gate golden check
+.PHONY: all build test vet lint fuzz race bench bench-smoke bench-json bench-gate golden check
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# go vet with its default analyzer set, which already includes the
+# opt-in-sounding ones that matter here (-unsafeptr, -atomic, -copylocks
+# all default to true); no -vettool extras are available stdlib-only.
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (internal/lint via cmd/abwlint): the
+# DESIGN.md Sec. 8 determinism/numerics/concurrency invariants as
+# machine-checked rules. `abwlint -rules` lists them.
+lint:
+	$(GO) run ./cmd/abwlint ./...
+
+# Bounded native fuzzing of the LP solver and the netjson codec; CI
+# runs the same targets for 30s each.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzSimplex -fuzztime=$(FUZZTIME) ./internal/lp/
+	$(GO) test -run='^$$' -fuzz=FuzzNetjson -fuzztime=$(FUZZTIME) ./internal/netjson/
 
 test:
 	$(GO) test ./...
@@ -54,5 +70,5 @@ bench-gate:
 golden:
 	$(GO) test -run TestGoldenTables ./internal/experiments/ -update
 
-# The gate run in CI: vet + build + race tests + benchmark smoke.
-check: vet build race bench-smoke
+# The gate run in CI: vet + lint + build + race tests + benchmark smoke.
+check: vet lint build race bench-smoke

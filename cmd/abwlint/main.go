@@ -1,0 +1,116 @@
+// Command abwlint runs the repo-specific static analyzers of
+// internal/lint over the module:
+//
+//	abwlint ./...            # human-readable findings, exit 1 if any
+//	abwlint -json ./...      # machine-readable, sorted by file:line
+//	abwlint -rules           # list the rules and what they guard
+//
+// Findings are suppressed case by case with
+// `//lint:ignore abw/<rule> <reason>` on (or directly above) the
+// flagged line; see internal/lint. Exit codes: 0 clean, 1 findings,
+// 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"abw/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("abwlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	listRules := fs.Bool("rules", false, "list the analyzer rules and exit")
+	dir := fs.String("C", "", "run as if launched from this directory")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: abwlint [-json] [-C dir] [patterns ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *listRules {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s\n    %s\n", a.ID(), a.Doc)
+			if len(a.Packages) > 0 {
+				fmt.Fprintf(stdout, "    scope: %v\n", a.Packages)
+			}
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := lint.NewLoader()
+	loader.Dir = *dir
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "abwlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	relativize(diags, loader.ModuleRoot())
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "abwlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "abwlint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites absolute file names relative to the module root
+// (forward slashes) so output is stable across checkouts. Relative
+// paths share the root prefix, so the sorted order is preserved; the
+// re-sort below only exists to keep the "always sorted" contract
+// independent of that argument.
+func relativize(diags []lint.Diagnostic, root string) {
+	if root == "" {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !filepath.IsAbs(rel) {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes files (path -> contents) as a throwaway
+// module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtyPkg = `package dirty
+
+import "math/rand"
+
+func Roll() int  { return rand.Intn(6) }
+func Flip() bool { return rand.Float64() < 0.5 }
+`
+
+func TestJSONShapeAndOrder(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":         "module fixturemod\n\ngo 1.22\n",
+		"dirty/dirty.go": dirtyPkg,
+		"b/b.go": `package b
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var out, errw bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "./..."}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("want exit 1 on findings, got %d (stderr: %s)", code, errw.String())
+	}
+
+	// The field-name contract for downstream tooling: exactly rule,
+	// file, line, col, message.
+	var shape []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &shape); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(shape) != 3 {
+		t.Fatalf("want 3 findings (2 globalrand + 1 timenow), got %d:\n%s", len(shape), out.String())
+	}
+	wantKeys := []string{"col", "file", "line", "message", "rule"}
+	for _, obj := range shape {
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if strings.Join(keys, ",") != strings.Join(wantKeys, ",") {
+			t.Errorf("JSON field names %v, want %v", keys, wantKeys)
+		}
+	}
+
+	// Sorted by file then line, with module-relative slash paths.
+	type diag struct {
+		Rule string `json:"rule"`
+		File string `json:"file"`
+		Line int    `json:"line"`
+	}
+	var diags []diag
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if filepath.IsAbs(d.File) || strings.Contains(d.File, `\`) {
+			t.Errorf("file %q should be module-relative with forward slashes", d.File)
+		}
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("diagnostics not sorted by file:line: %v before %v", a, b)
+		}
+	}
+	if diags[0].File != "b/b.go" || diags[0].Rule != "abw/timenow" {
+		t.Errorf("first finding should be b/b.go timenow, got %+v", diags[0])
+	}
+	if diags[1].File != "dirty/dirty.go" || diags[1].Rule != "abw/globalrand" {
+		t.Errorf("second finding should be dirty/dirty.go globalrand, got %+v", diags[1])
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module fixturemod\n\ngo 1.22\n",
+		"ok/ok.go":   "package ok\n\nfunc Two() int { return 2 }\n",
+		"ok2/ok2.go": "package ok2\n\nfunc Three() int { return 3 }\n",
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", dir, "-json", "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("want exit 0 on a clean module, got %d: %s%s", code, out.String(), errw.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json output should be an empty array, got %q", got)
+	}
+}
+
+func TestSuppressedFindingExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+		"dirty/dirty.go": `package dirty
+
+import "math/rand"
+
+func Roll() int {
+	//lint:ignore abw/globalrand demo module: determinism waived here on purpose
+	return rand.Intn(6)
+}
+`,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("want exit 0 with suppression, got %d: %s%s", code, out.String(), errw.String())
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":         "module fixturemod\n\ngo 1.22\n",
+		"dirty/dirty.go": dirtyPkg,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &out, &errw); code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+	if !strings.Contains(out.String(), "dirty/dirty.go:5:") || !strings.Contains(out.String(), "(abw/globalrand)") {
+		t.Errorf("text output missing file:line or rule tag:\n%s", out.String())
+	}
+}
+
+func TestRulesFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-rules"}, &out, &errw); code != 0 {
+		t.Fatalf("-rules should exit 0, got %d", code)
+	}
+	for _, rule := range []string{"abw/atomicfield", "abw/floateq", "abw/globalrand", "abw/maporder", "abw/timenow"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-rules output missing %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("want exit 2 on bad usage, got %d", code)
+	}
+}

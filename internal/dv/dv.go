@@ -15,6 +15,7 @@ package dv
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"abw/internal/graph"
 	"abw/internal/topology"
@@ -98,6 +99,22 @@ func (e *Engine) Round() (int, error) {
 		}
 	}
 	// Apply synchronously, keeping the best candidate per (node, dest).
+	// The candidates were collected in map-iteration order; sort them so
+	// equal-cost ties break toward the lowest link id every run instead
+	// of whichever entry the map yielded first.
+	sort.Slice(updates, func(i, j int) bool {
+		a, b := updates[i], updates[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.dest != b.dest {
+			return a.dest < b.dest
+		}
+		if a.ent.cost != b.ent.cost {
+			return a.ent.cost < b.ent.cost
+		}
+		return a.ent.via < b.ent.via
+	})
 	improved := 0
 	for _, up := range updates {
 		cur, ok := e.tables[up.at][up.dest]

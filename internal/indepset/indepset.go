@@ -110,6 +110,7 @@ func (s Set) Key() string {
 		b.WriteByte('@')
 		// Integral rates below 1e6 print identically under %g and plain
 		// decimal, skipping shortest-float formatting on the common case.
+		//lint:ignore abw/floateq exact integrality test: both formatting branches print the same key, only speed differs
 		if f := float64(c.Rate); f == float64(int(f)) && f >= 0 && f < 1e6 {
 			b.WriteString(strconv.Itoa(int(f)))
 		} else {

@@ -106,6 +106,7 @@ func (w *physicalWorker) visit() (ok bool, err error) {
 	// Feasibility: every member must keep a positive max rate.
 	for d, mi := range w.members {
 		r := w.tr.MaxRate(mi)
+		//lint:ignore abw/floateq Rate 0 is the exact silenced-link sentinel MaxRate returns, never a computed float
 		if r == 0 {
 			return false, nil
 		}
@@ -170,6 +171,7 @@ func (w *physicalWorker) runTask(t subtreeTask) error {
 // added stays at least the current one.
 func physicalMaximal(tr *conflict.SetTracker, members []int, isMember []bool, rateBuf, minRate []radio.Rate, n int) bool {
 	for j := 0; j < n; j++ {
+		//lint:ignore abw/floateq Rate 0 is the exact no-declared-rate sentinel, never a computed float
 		if isMember[j] || minRate[j] == 0 {
 			continue
 		}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloateq guards DESIGN.md Sec. 8 invariant 5 (tolerance-based
+// simplex pivoting): in the numeric kernels, `==`/`!=` between floating
+// operands is almost always a latent pivot bug — comparisons there must
+// go through a named tolerance (pivotTol, feasTol) or be explicitly
+// justified as bit-exact (skip-zero sparsity tests, integrality
+// checks) with a //lint:ignore.
+var AnalyzerFloateq = &Analyzer{
+	Name: "floateq",
+	Doc: "==/!= on floating-point operands in the numeric kernels; compare " +
+		"through a named tolerance instead (guards invariant 5: pivotTol " +
+		"discipline in the simplex and enumeration hot paths)",
+	Packages: []string{"internal/lp", "internal/core", "internal/clique", "internal/indepset"},
+	Run:      runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !p.isFloat(be.X) && !p.isFloat(be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison; use a named tolerance helper or justify bit-exactness with //lint:ignore", be.Op)
+			return true
+		})
+	}
+}
+
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

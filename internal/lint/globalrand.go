@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerGlobalrand guards DESIGN.md design decision 5 (determinism
+// everywhere): every random draw must flow from an explicit seeded
+// *rand.Rand stream (internal/geom's placement streams), never from the
+// process-global math/rand state, whose seed and goroutine interleaving
+// make topologies and workloads irreproducible.
+var AnalyzerGlobalrand = &Analyzer{
+	Name: "globalrand",
+	Doc: "top-level math/rand function (global generator); draw from a " +
+		"seeded *rand.Rand stream instead so placements and workloads " +
+		"replay bit-for-bit (guards design decision 5: determinism)",
+	Run: runGlobalrand,
+}
+
+// globalrandAllowed are the math/rand constructors that *create* seeded
+// streams — the replacement the rule demands.
+var globalrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runGlobalrand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on *rand.Rand etc. — the sanctioned form
+			}
+			if globalrandAllowed[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "%s.%s uses the global math/rand generator; draw from a seeded *rand.Rand stream", fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,163 @@
+// Suppression directives. A finding is silenced by a comment of the
+// form
+//
+//	//lint:ignore abw/<rule>[,abw/<rule>...] <reason>
+//
+// placed on the flagged line or on the line directly above it, or by a
+//
+//	//lint:file-ignore abw/<rule> <reason>
+//
+// anywhere in the file, which silences the rule for the whole file. The
+// reason is mandatory, the rule must exist, and a directive that ends
+// up suppressing nothing is itself reported — stale ignores fail the
+// build instead of rotting in place.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+const (
+	ignorePrefix     = "lint:ignore"
+	fileIgnorePrefix = "lint:file-ignore"
+	// ignoreRule names the pseudo-rule malformed/unused directives are
+	// reported under. It cannot itself be suppressed.
+	ignoreRule = "abw/ignore"
+)
+
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	file      string
+	line      int // line the comment ends on
+	rules     []string
+	wholeFile bool // file-scoped
+	used      bool
+	pos       token.Position
+}
+
+type ignoreIndex struct {
+	// byFile groups directives by diagnostic file name.
+	byFile map[string][]*ignoreDirective
+}
+
+// buildIgnoreIndex scans every comment of every file for directives.
+// Malformed directives (missing rule, unknown rule, missing reason) are
+// returned as diagnostics immediately.
+func buildIgnoreIndex(pkgs []*Package, knownRules map[string]bool) (*ignoreIndex, []Diagnostic) {
+	idx := &ignoreIndex{byFile: make(map[string][]*ignoreDirective)}
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, diag := parseIgnore(pkg.Fset, c, knownRules)
+					if diag != nil {
+						bad = append(bad, *diag)
+					}
+					if d != nil {
+						idx.byFile[d.file] = append(idx.byFile[d.file], d)
+					}
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+func parseIgnore(fset *token.FileSet, c *ast.Comment, knownRules map[string]bool) (*ignoreDirective, *Diagnostic) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if t, ok := strings.CutPrefix(c.Text, "/*"); ok {
+		text = strings.TrimSpace(strings.TrimSuffix(t, "*/"))
+	}
+	var rest string
+	var fileScoped bool
+	switch {
+	case strings.HasPrefix(text, fileIgnorePrefix):
+		rest, fileScoped = strings.TrimPrefix(text, fileIgnorePrefix), true
+	case strings.HasPrefix(text, ignorePrefix):
+		rest = strings.TrimPrefix(text, ignorePrefix)
+	default:
+		return nil, nil
+	}
+	pos := fset.Position(c.Pos())
+	malformed := func(msg string) *Diagnostic {
+		return &Diagnostic{Rule: ignoreRule, File: pos.Filename, Line: pos.Line, Col: pos.Column, Message: msg}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, malformed("ignore directive is missing a rule name (want //lint:ignore abw/<rule> <reason>)")
+	}
+	rules := strings.Split(fields[0], ",")
+	for _, r := range rules {
+		if !knownRules[r] {
+			return nil, malformed("ignore directive names unknown rule " + r)
+		}
+	}
+	if len(fields) < 2 {
+		return nil, malformed("ignore directive for " + fields[0] + " is missing a reason")
+	}
+	end := fset.Position(c.End())
+	return &ignoreDirective{
+		file:      end.Filename,
+		line:      end.Line,
+		rules:     rules,
+		wholeFile: fileScoped,
+		pos:       pos,
+	}, nil
+}
+
+// suppresses reports whether some directive covers d, marking the first
+// covering directive used.
+func (idx *ignoreIndex) suppresses(d Diagnostic) bool {
+	for _, dir := range idx.byFile[d.File] {
+		if !dir.covers(d) {
+			continue
+		}
+		dir.used = true
+		return true
+	}
+	return false
+}
+
+func (dir *ignoreDirective) covers(d Diagnostic) bool {
+	if !dir.wholeFile && d.Line != dir.line && d.Line != dir.line+1 {
+		return false
+	}
+	for _, r := range dir.rules {
+		if r == d.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns one diagnostic per directive that suppressed nothing,
+// in sorted file order (the caller sorts the full set again, but this
+// keeps the function deterministic on its own).
+func (idx *ignoreIndex) unused() []Diagnostic {
+	files := make([]string, 0, len(idx.byFile))
+	for f := range idx.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, dir := range idx.byFile[f] {
+			if dir.used {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Rule: ignoreRule,
+				File: dir.pos.Filename,
+				Line: dir.pos.Line,
+				Col:  dir.pos.Column,
+				Message: "ignore directive for " + strings.Join(dir.rules, ",") +
+					" suppresses nothing; delete it",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSynthetic writes src as a one-file package in a temp dir and
+// type-checks it under the given import path.
+func loadSynthetic(t *testing.T, importPath, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := sharedLoader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading synthetic package: %v", err)
+	}
+	return pkg
+}
+
+func rulesOf(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Rule
+	}
+	return out
+}
+
+func TestIgnoreSameLine(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/sameline", `package p
+import "math/rand"
+func f() int { return rand.Intn(3) } //lint:ignore abw/globalrand test: same-line directive
+`)
+	if d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand}); len(d) != 0 {
+		t.Errorf("same-line ignore did not suppress: %v", d)
+	}
+}
+
+func TestIgnoreLineAbove(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/above", `package p
+import "math/rand"
+func f() int {
+	//lint:ignore abw/globalrand test: directive above the line
+	return rand.Intn(3)
+}
+`)
+	if d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand}); len(d) != 0 {
+		t.Errorf("line-above ignore did not suppress: %v", d)
+	}
+}
+
+func TestIgnoreWrongLineDoesNotSuppress(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/wrongline", `package p
+import "math/rand"
+//lint:ignore abw/globalrand test: two lines above, out of range
+// padding comment
+func f() int { return rand.Intn(3) }
+`)
+	d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand})
+	// The finding survives AND the directive is reported unused; sorted
+	// by line, the line-3 directive report precedes the line-5 finding.
+	got := rulesOf(d)
+	want := []string{"abw/ignore", "abw/globalrand"}
+	if len(d) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("want [unused-ignore, globalrand], got %v", d)
+	}
+}
+
+func TestFileIgnore(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/fileignore", `package p
+//lint:file-ignore abw/globalrand test: whole-file waiver
+import "math/rand"
+func f() int { return rand.Intn(3) }
+func g() int { return rand.Intn(5) }
+`)
+	if d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand}); len(d) != 0 {
+		t.Errorf("file-ignore did not suppress both findings: %v", d)
+	}
+}
+
+func TestIgnoreMultipleRules(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/multirule", `package p
+import (
+	"math/rand"
+	"time"
+)
+func f() int64 {
+	//lint:ignore abw/globalrand,abw/timenow test: both rules on one line
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}
+`)
+	if d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand, AnalyzerTimenow}); len(d) != 0 {
+		t.Errorf("comma-list ignore did not suppress both rules: %v", d)
+	}
+}
+
+func TestIgnoreMissingReason(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/noreason", `package p
+import "math/rand"
+func f() int {
+	//lint:ignore abw/globalrand
+	return rand.Intn(3)
+}
+`)
+	d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand})
+	if len(d) != 2 {
+		t.Fatalf("want malformed-directive finding plus the unsuppressed finding, got %v", d)
+	}
+	var sawMalformed bool
+	for _, di := range d {
+		if di.Rule == "abw/ignore" && strings.Contains(di.Message, "missing a reason") {
+			sawMalformed = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("missing-reason directive not reported: %v", d)
+	}
+}
+
+func TestIgnoreUnknownRule(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/unknownrule", `package p
+func f() {
+	//lint:ignore abw/nosuchrule test: typo in rule name
+	_ = 1
+}
+`)
+	d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand})
+	if len(d) != 1 || d[0].Rule != "abw/ignore" || !strings.Contains(d[0].Message, "unknown rule") {
+		t.Errorf("unknown rule name not reported: %v", d)
+	}
+}
+
+func TestIgnoreUnusedReported(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/unused", `package p
+func f() {
+	//lint:ignore abw/globalrand test: nothing to suppress here
+	_ = 1
+}
+`)
+	d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand})
+	if len(d) != 1 || d[0].Rule != "abw/ignore" || !strings.Contains(d[0].Message, "suppresses nothing") {
+		t.Errorf("unused directive not reported: %v", d)
+	}
+}
+
+// TestRunPackageScope pins that a scoped rule (floateq) fires inside
+// its package list and stays silent outside it.
+func TestRunPackageScope(t *testing.T) {
+	src := `package p
+func f(a, b float64) bool { return a == b }
+`
+	in := loadSynthetic(t, "abw/internal/lp/sub", src)
+	out := loadSynthetic(t, "abw/internal/sim/sub", src)
+	if d := Run([]*Package{in}, []*Analyzer{AnalyzerFloateq}); len(d) != 1 {
+		t.Errorf("scoped rule should fire inside internal/lp: %v", d)
+	}
+	if d := Run([]*Package{out}, []*Analyzer{AnalyzerFloateq}); len(d) != 0 {
+		t.Errorf("scoped rule should be silent outside its packages: %v", d)
+	}
+}
+
+func TestMatchPkg(t *testing.T) {
+	cases := []struct {
+		path, pattern string
+		want          bool
+	}{
+		{"abw/internal/lp", "internal/lp", true},
+		{"abw/internal/lp", "internal/lint", false},
+		{"abw/internal/lint", "internal/lp", false},
+		{"abw/cmd/abwsim", "cmd", true},
+		{"cmd/tool", "cmd", true},
+		{"abw", "abw", true},
+		{"abw/internal/lphelpers", "internal/lp", false},
+	}
+	for _, c := range cases {
+		if got := matchPkg(c.path, c.pattern); got != c.want {
+			t.Errorf("matchPkg(%q, %q) = %v, want %v", c.path, c.pattern, got, c.want)
+		}
+	}
+}
+
+// TestDiagnosticsSorted pins the output contract: findings arrive
+// sorted by file, then line, then column.
+func TestDiagnosticsSorted(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/sorted", `package p
+import (
+	"math/rand"
+	"time"
+)
+func f() int64 { return time.Now().UnixNano() + int64(rand.Intn(3)) }
+func g() int   { return rand.Intn(5) }
+`)
+	d := RunUnfiltered(pkg, []*Analyzer{AnalyzerGlobalrand, AnalyzerTimenow})
+	if len(d) < 3 {
+		t.Fatalf("want at least 3 findings, got %v", d)
+	}
+	for i := 1; i < len(d); i++ {
+		a, b := d[i-1], d[i]
+		if a.File > b.File || (a.File == b.File && (a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col))) {
+			t.Errorf("diagnostics out of order at %d: %v before %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// The package loader: discovers the module, expands "./..." patterns,
+// parses and type-checks packages in dependency order. Intra-module
+// imports are checked from source here; standard-library imports go
+// through go/importer's "source" compiler, so the whole pipeline stays
+// inside the stdlib (no x/tools, no go.sum).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("abw/internal/lp").
+	Path string
+	// Dir is the absolute directory.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, sorted by file name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages. It caches everything it
+// loads, so repeated Load calls (and the stdlib source importer's work)
+// are paid once per Loader.
+type Loader struct {
+	// Dir is the working directory patterns resolve against; defaults to
+	// the process working directory.
+	Dir string
+
+	fset    *token.FileSet
+	ctx     build.Context
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle detection
+
+	modRoot string
+	modPath string
+}
+
+// buildContextOnce disables cgo for the process-wide build context the
+// stdlib source importer captures: every package in this module (and
+// every stdlib package it pulls in) has a pure-Go path, and skipping
+// cgo keeps the importer hermetic.
+var buildContextOnce sync.Once
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	buildContextOnce.Do(func() { build.Default.CgoEnabled = false })
+	fset := token.NewFileSet()
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &Loader{
+		fset:    fset,
+		ctx:     ctx,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// ModuleRoot returns the module root directory discovered by Load, or
+// empty before the first Load.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// Load expands the patterns ("./...", "./dir/...", "./dir", ".")
+// relative to l.Dir, loads every matched package plus its intra-module
+// dependency closure, and returns the matched packages sorted by import
+// path. Only the returned (matched) packages are analyzed by Run; the
+// closure exists to type-check them.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dir := l.Dir
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if l.modRoot == "" {
+		root, path, err := findModule(dir)
+		if err != nil {
+			return nil, err
+		}
+		l.modRoot, l.modPath = root, path
+	}
+
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(dir, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			if err := walkGoDirs(base, func(d string) { addDir(d) }); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		addDir(filepath.Join(dir, filepath.FromSlash(pat)))
+	}
+
+	var out []*Package
+	for _, d := range dirs {
+		imp, err := l.importPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.loadPackage(imp)
+		if err != nil {
+			if _, nogo := err.(*build.NoGoError); nogo {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks a single directory outside the module (fixture
+// packages under testdata) under the given import path. Imports must
+// all be standard library.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	return l.check(importPath, dir)
+}
+
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// walkGoDirs visits base and every subdirectory that is not hidden,
+// not testdata, and not underscore-prefixed.
+func walkGoDirs(base string, visit func(dir string)) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		visit(path)
+		return nil
+	})
+}
+
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.modRoot)
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) dirForImport(imp string) string {
+	if imp == l.modPath {
+		return l.modRoot
+	}
+	rel := strings.TrimPrefix(imp, l.modPath+"/")
+	return filepath.Join(l.modRoot, filepath.FromSlash(rel))
+}
+
+func (l *Loader) isModuleImport(imp string) bool {
+	return imp == l.modPath || strings.HasPrefix(imp, l.modPath+"/")
+}
+
+// loadPackage loads imp (a module-internal import path) and,
+// recursively, its module-internal imports, then type-checks it.
+func (l *Loader) loadPackage(imp string) (*Package, error) {
+	if p, ok := l.pkgs[imp]; ok {
+		return p, nil
+	}
+	if l.loading[imp] {
+		return nil, fmt.Errorf("lint: import cycle through %s", imp)
+	}
+	l.loading[imp] = true
+	defer delete(l.loading, imp)
+	return l.check(imp, l.dirForImport(imp))
+}
+
+func (l *Loader) check(imp, dir string) (*Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Pre-load module-internal dependencies so the importer below only
+	// ever sees cache hits for them.
+	for _, dep := range bp.Imports {
+		if l.isModuleImport(dep) {
+			if _, err := l.loadPackage(dep); err != nil {
+				return nil, fmt.Errorf("lint: loading %s (for %s): %w", dep, imp, err)
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(imp, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", imp, typeErrs[0])
+	}
+	p := &Package{Path: imp, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[imp] = p
+	return p, nil
+}
+
+// loaderImporter resolves module-internal imports from the loader cache
+// and everything else through the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if l.modPath != "" && l.isModuleImport(path) {
+		p, err := l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,14 @@
+package lint
+
+// Analyzers returns every rule, sorted by name. The set is the contract
+// `abwlint -rules` prints and CHANGES to it must update DESIGN.md
+// Sec. 9 (static enforcement).
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerAtomicfield,
+		AnalyzerFloateq,
+		AnalyzerGlobalrand,
+		AnalyzerMaporder,
+		AnalyzerTimenow,
+	}
+}

@@ -1,0 +1,51 @@
+// Package atomicfield exercises abw/atomicfield: mixed atomic and
+// plain access to the same field or variable, and suppression.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	limit int64
+}
+
+// bump is the sanctioned atomic write.
+func (c *counter) bump() int64 {
+	return atomic.AddInt64(&c.n, 1)
+}
+
+// peek reads the same field without the atomic.
+func (c *counter) peek() int64 {
+	return c.n // want "\"n\" is accessed via sync/atomic"
+}
+
+// limitOnly touches a field nobody uses atomically; no finding.
+func (c *counter) limitOnly() int64 {
+	return c.limit
+}
+
+// sequential documents a single-owner plain access.
+func (c *counter) sequential() {
+	//lint:ignore abw/atomicfield fixture: exclusive owner; suppression under test
+	c.n++
+}
+
+var hits int64
+
+// record uses the package-level var atomically...
+func record() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// report ...and this plain read races with record.
+func report() int64 {
+	return hits // want "\"hits\" is accessed via sync/atomic"
+}
+
+type safe struct{ n atomic.Int64 }
+
+// typed uses the atomic wrapper type; access is safe by construction.
+func (s *safe) typed() int64 {
+	s.n.Add(1)
+	return s.n.Load()
+}

@@ -1,0 +1,48 @@
+// Package floateq exercises abw/floateq: direct float equality, the
+// tolerance idiom that passes, and suppression.
+package floateq
+
+import "math"
+
+const tol = 1e-9
+
+// direct compares computed floats exactly.
+func direct(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// notEqual is just as wrong.
+func notEqual(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// zeroTest against a literal still compares floats.
+func zeroTest(a float64) bool {
+	return a == 0 // want "floating-point == comparison"
+}
+
+// narrow float32 is no safer.
+func narrow(a, b float32) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// tolerant is the sanctioned form.
+func tolerant(a, b float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// ordered comparisons are tolerance-compatible and allowed.
+func ordered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// ints are exact; no finding.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// sentinel documents a bit-exact comparison.
+func sentinel(a float64) bool {
+	//lint:ignore abw/floateq fixture: exact sentinel; suppression under test
+	return a == 0
+}

@@ -1,0 +1,34 @@
+// Package globalrand exercises abw/globalrand: the process-global
+// math/rand generator, the seeded-stream form that passes, and
+// suppression.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// global draws from the shared generator.
+func global() int {
+	return rand.Intn(10) // want "math/rand.Intn uses the global"
+}
+
+// globalV2 is the same mistake in v2 clothing.
+func globalV2() int {
+	return randv2.IntN(10) // want "math/rand/v2.IntN uses the global"
+}
+
+// asValue references the global function without calling it.
+var pick = rand.Float64 // want "math/rand.Float64 uses the global"
+
+// seeded is the sanctioned form: an explicit stream.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// suppressed documents why the global draw is acceptable.
+func suppressed() int {
+	//lint:ignore abw/globalrand fixture: demo code; suppression under test
+	return rand.Intn(10)
+}

@@ -1,0 +1,102 @@
+// Package maporder exercises abw/maporder: map iteration feeding
+// ordered sinks, the collect-then-sort escape, and suppression.
+package maporder
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// appendUnsorted leaks map order into the returned slice.
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside map iteration"
+	}
+	return keys
+}
+
+// appendThenSort is the sanctioned collect-then-sort idiom.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSlicesSort also counts as sorted.
+func appendThenSlicesSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// sendInRange publishes values in map order.
+func sendInRange(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "send inside map iteration"
+	}
+}
+
+// returnRangeVar picks an arbitrary entry.
+func returnRangeVar(m map[string]int) string {
+	for k := range m {
+		if len(k) > 3 {
+			return k // want "return of a map iteration variable"
+		}
+	}
+	return ""
+}
+
+// returnConstant is a pure existence check; any entry serves.
+func returnConstant(m map[string]int) bool {
+	for range m {
+		return true
+	}
+	return false
+}
+
+// loopLocal appends only to a slice scoped inside the loop.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// suppressed documents why map order is fine here.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore abw/maporder fixture: caller sorts; suppression under test
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapsKeysIterator is just as unordered as ranging the map itself.
+func mapsKeysIterator(m map[string]int) []string {
+	var keys []string
+	for k := range maps.Keys(m) {
+		keys = append(keys, k) // want "append to \"keys\" inside map iteration"
+	}
+	return keys
+}
+
+type sink struct{ rows []string }
+
+// fieldAppend records into a struct field that outlives the loop.
+func (s *sink) fieldAppend(m map[string]int) {
+	for k := range m {
+		s.rows = append(s.rows, k) // want "append to s.rows inside map iteration"
+	}
+}

@@ -1,0 +1,37 @@
+// Package timenow exercises abw/timenow: wall-clock reads in a
+// result-producing package, the clock-as-input form that passes, and
+// suppression.
+package timenow
+
+import "time"
+
+// stamp reads the wall clock.
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// age measures against the wall clock.
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the wall clock"
+}
+
+// deadline is wall-clock arithmetic too.
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until reads the wall clock"
+}
+
+// explicit threads the clock through as an input; deterministic.
+func explicit(now time.Time, t time.Time) time.Duration {
+	return now.Sub(t)
+}
+
+// fixed constructs times from inputs only.
+func fixed(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}
+
+// suppressed documents an accepted wall-clock read.
+func suppressed() time.Time {
+	//lint:ignore abw/timenow fixture: operator-facing log stamp; suppression under test
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Command timenow_main shows the abw/timenow package-main exemption:
+// CLI surfaces may date-stamp output files.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now() // no finding: package main is exempt
+}

@@ -160,11 +160,14 @@ func (p *Problem) AddConstraint(name string, coefs map[Var]float64, rel Rel, rhs
 	cp := make(map[Var]float64, len(coefs))
 	for v, c := range coefs {
 		if int(v) < 0 || int(v) >= len(p.obj) {
+			//lint:ignore abw/maporder rejection is all-or-nothing; any one offending variable names the error
 			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, v)
 		}
 		if math.IsNaN(c) || math.IsInf(c, 0) {
+			//lint:ignore abw/maporder rejection is all-or-nothing; any one offending coefficient names the error
 			return fmt.Errorf("lp: constraint %q has non-finite coefficient %g for %s", name, c, p.VarName(v))
 		}
+		//lint:ignore abw/floateq exact-zero sparsity skip: dropping only true zeros leaves the tableau bit-identical
 		if c != 0 {
 			cp[v] = c
 		}
@@ -187,11 +190,14 @@ func (p *Problem) AddOwnedConstraint(name string, coefs map[Var]float64, rel Rel
 	}
 	for v, c := range coefs {
 		if int(v) < 0 || int(v) >= len(p.obj) {
+			//lint:ignore abw/maporder rejection is all-or-nothing; any one offending variable names the error
 			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, v)
 		}
 		if math.IsNaN(c) || math.IsInf(c, 0) {
+			//lint:ignore abw/maporder rejection is all-or-nothing; any one offending coefficient names the error
 			return fmt.Errorf("lp: constraint %q has non-finite coefficient %g for %s", name, c, p.VarName(v))
 		}
+		//lint:ignore abw/floateq exact-zero sparsity skip: dropping only true zeros leaves the tableau bit-identical
 		if c == 0 {
 			delete(coefs, v)
 		}
@@ -428,6 +434,7 @@ func simplex(t [][]float64, basis []int, c []float64, barred []bool, red []float
 		// reduced costs are bit-identical.
 		copy(red, c)
 		for i := 0; i < m; i++ {
+			//lint:ignore abw/floateq exact-zero multiplier skip: omitting true-zero terms keeps the sum bit-identical
 			if cb := c[basis[i]]; cb != 0 {
 				ti := t[i]
 				for j := 0; j < total; j++ {
@@ -511,6 +518,7 @@ func pivot(t [][]float64, basis []int, row, col int) {
 			continue
 		}
 		f := t[i][col]
+		//lint:ignore abw/floateq exact-zero row skip: a true-zero multiplier contributes nothing; tolerance here would zero real entries
 		if f == 0 {
 			continue
 		}

@@ -29,12 +29,14 @@ func Greedy(m conflict.Model, demand map[topology.LinkID]float64) (Schedule, boo
 	links := make([]topology.LinkID, 0, len(demand))
 	for l, d := range demand {
 		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			//lint:ignore abw/maporder rejection is all-or-nothing; any one invalid demand names the error
 			return Schedule{}, false, fmt.Errorf("schedule: invalid demand %g on link %d", d, l)
 		}
 		if d == 0 {
 			continue
 		}
 		if conflict.AloneMaxRate(m, l) <= 0 {
+			//lint:ignore abw/maporder rejection is all-or-nothing; any one silenced link names the error
 			return Schedule{}, false, fmt.Errorf("schedule: link %d cannot transmit", l)
 		}
 		residual[l] = d

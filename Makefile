@@ -2,7 +2,7 @@ GO ?= go
 
 # The tier-1 benchmarks the regression gate watches: the end-to-end
 # query, the enumeration and LP hot paths, and the simulator kernels.
-TIER1_BENCH = ^(BenchmarkAvailableBandwidthQuery|BenchmarkEnumerateScenarioII|BenchmarkSolveEq6Shape|BenchmarkRunScheduleScenarioII|BenchmarkRunFlowsScenarioII|BenchmarkCSMAScenarioI)$$
+TIER1_BENCH = ^(BenchmarkAvailableBandwidthQuery|BenchmarkEnumerateScenarioII|BenchmarkSolveEq6Shape|BenchmarkRunScheduleScenarioII|BenchmarkRunFlowsScenarioII|BenchmarkCSMAScenarioI|BenchmarkAdmitSequenceCold|BenchmarkAdmitSequenceWarm)$$
 BENCH_COUNT ?= 5
 BENCH_JSON ?= BENCH_$(shell date -u +%Y-%m-%d).json
 
@@ -31,6 +31,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzSimplex -fuzztime=$(FUZZTIME) ./internal/lp/
 	$(GO) test -run='^$$' -fuzz=FuzzNetjson -fuzztime=$(FUZZTIME) ./internal/netjson/
+	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=$(FUZZTIME) ./internal/memo/
 
 test:
 	$(GO) test ./...

@@ -38,6 +38,7 @@ import (
 	"abw/internal/estimate"
 	"abw/internal/geom"
 	"abw/internal/lp"
+	"abw/internal/memo"
 	"abw/internal/radio"
 	"abw/internal/routing"
 	"abw/internal/schedule"
@@ -140,8 +141,10 @@ func Line(n int, spacing float64) Layout {
 type Option func(*config)
 
 type config struct {
-	radioOpts []radio.Option
-	workers   int
+	radioOpts  []radio.Option
+	workers    int
+	cacheOn    bool
+	cacheBytes int64
 }
 
 // WithCSRangeFactor sets the carrier-sense range as a multiple of the
@@ -154,6 +157,17 @@ func WithCSRangeFactor(f float64) Option {
 // distance (default 0 dB).
 func WithNoiseMarginDB(db float64) Option {
 	return func(c *config) { c.radioOpts = append(c.radioOpts, radio.WithNoiseMarginDB(db)) }
+}
+
+// WithCache enables the query-plan cache for this system: enumerated
+// set families are memoized by content fingerprint, repeated-structure
+// availability LPs are warm-started across Admit steps, and the
+// counters are readable through CacheStats. maxBytes bounds the bytes
+// retained for cached set families (0 picks a default budget). Cached
+// answers are bit-for-bit identical to fresh computation — the cache
+// only changes speed, never results.
+func WithCache(maxBytes int64) Option {
+	return func(c *config) { c.cacheOn = true; c.cacheBytes = maxBytes }
 }
 
 // WithWorkers sets the number of concurrent workers independent-set
@@ -172,11 +186,12 @@ type System struct {
 	net     *topology.Network
 	model   *conflict.Physical
 	workers int
+	cache   *memo.Cache
 }
 
 // coreOptions returns the core options every query of this system uses.
 func (s *System) coreOptions() core.Options {
-	return core.Options{Workers: s.workers}
+	return core.Options{Workers: s.workers, Cache: s.cache}
 }
 
 // NewSystem builds a System from a layout.
@@ -196,8 +211,20 @@ func NewSystem(layout Layout, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abw: %w", err)
 	}
-	return &System{net: net, model: conflict.NewPhysical(net), workers: cfg.workers}, nil
+	sys := &System{net: net, model: conflict.NewPhysical(net), workers: cfg.workers}
+	if cfg.cacheOn {
+		sys.cache = memo.New(cfg.cacheBytes)
+	}
+	return sys, nil
 }
+
+// CacheStats returns the query-plan cache counters: set-family hits,
+// misses and retained bytes, plus warm-start pivot accounting. All
+// zeros unless the system was built WithCache.
+func (s *System) CacheStats() CacheStats { return s.cache.Stats() }
+
+// CacheStats is the counter snapshot the memo cache exposes.
+type CacheStats = memo.Stats
 
 // Network returns the underlying topology for advanced use.
 func (s *System) Network() *topology.Network { return s.net }
@@ -284,7 +311,7 @@ type (
 // run ends at the first rejection, as in the paper.
 func (s *System) Admit(metric RouteMetric, requests []Request, stopAtFirstFailure bool) ([]Decision, error) {
 	return routing.SequentialAdmission(s.net, s.model, metric, requests,
-		routing.AdmissionOptions{StopAtFirstFailure: stopAtFirstFailure})
+		routing.AdmissionOptions{StopAtFirstFailure: stopAtFirstFailure, Core: s.coreOptions()})
 }
 
 // DistributedRoute computes a route by pure message passing: a

@@ -165,6 +165,50 @@ func TestAdmitSequence(t *testing.T) {
 	}
 }
 
+// TestAdmitWithCacheMatchesUncached pins the facade contract of
+// WithCache: same decisions and bandwidths as a cache-less system, with
+// the counters proving the cache actually engaged.
+func TestAdmitWithCacheMatchesUncached(t *testing.T) {
+	plain := lineSystem(t, 5, 100)
+	cached, err := NewSystem(Line(5, 100), WithCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Src: 0, Dst: 4, Demand: 2},
+		{Src: 1, Dst: 3, Demand: 1},
+		{Src: 0, Dst: 4, Demand: 2},
+		{Src: 0, Dst: 4, Demand: 2},
+	}
+	want, err := plain.Admit(RouteAvgE2ED, reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.Admit(RouteAvgE2ED, reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d decisions cached, %d uncached", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Admitted != want[i].Admitted {
+			t.Errorf("decision %d: admitted %v cached, %v uncached", i, got[i].Admitted, want[i].Admitted)
+		}
+		if math.Abs(got[i].Available-want[i].Available) > 1e-7 {
+			t.Errorf("decision %d: available %.12g cached, %.12g uncached",
+				i, got[i].Available, want[i].Available)
+		}
+	}
+	st := cached.CacheStats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Errorf("cache never engaged: %+v", st)
+	}
+	if zero := plain.CacheStats(); zero.Hits != 0 || zero.Misses != 0 {
+		t.Errorf("cache-less system reports activity: %+v", zero)
+	}
+}
+
 func TestEstimators(t *testing.T) {
 	sys := lineSystem(t, 5, 100)
 	path, err := sys.PathBetween(0, 1, 2, 3, 4)

@@ -3,7 +3,10 @@ package abw
 import (
 	"testing"
 
+	"abw/internal/core"
 	"abw/internal/experiments"
+	"abw/internal/memo"
+	"abw/internal/routing"
 )
 
 // One benchmark per paper artifact (DESIGN.md Sec. 2). Each bench
@@ -117,6 +120,42 @@ func BenchmarkEstimateConservative(b *testing.B) {
 		}
 	}
 }
+
+// benchAdmitSequence is the repeat-query workload of the memo
+// subsystem: E4-style sequential admission of 16 requests (the Sec. 5.2
+// eight random pairs, twice, so later requests repeat earlier paths) on
+// the 30-node random topology. With a cache the set families persist
+// and the availability LPs warm-start across steps and iterations; cold
+// re-derives everything. Decisions are identical either way (pinned by
+// the routing/core property tests).
+func benchAdmitSequence(b *testing.B, cache *memo.Cache) {
+	b.Helper()
+	net, m, reqs, err := experiments.Fig2Setup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs = append(reqs, reqs...) // repeated pairs: the daemon's steady state
+	opts := routing.AdmissionOptions{Core: core.Options{Cache: cache}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decs, err := routing.SequentialAdmission(net, m, routing.MetricHopCount, reqs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(decs) != len(reqs) {
+			b.Fatalf("%d decisions for %d requests", len(decs), len(reqs))
+		}
+	}
+}
+
+// BenchmarkAdmitSequenceCold runs the admission sequence with the memo
+// subsystem disabled: every step enumerates and solves from scratch.
+func BenchmarkAdmitSequenceCold(b *testing.B) { benchAdmitSequence(b, nil) }
+
+// BenchmarkAdmitSequenceWarm runs the same sequence with the cache and
+// LP warm-starting enabled — the long-lived controller workload.
+func BenchmarkAdmitSequenceWarm(b *testing.B) { benchAdmitSequence(b, memo.New(0)) }
 
 // BenchmarkDemandSweep regenerates E11 (the Fig. 4 estimator-error
 // sweep across background demand levels).

@@ -34,6 +34,8 @@ func run(args []string) int {
 	fs.SetOutput(os.Stderr)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "enumeration workers (0 = automatic, 1 = sequential)")
+	cache := fs.Bool("cache", false, "enable the memo cache: set-family reuse, LP warm-starting, GET /v1/stats counters")
+	cacheBytes := fs.Int64("cachebytes", 0, "retained-bytes budget for cached set families (0 = default; needs -cache)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,6 +47,9 @@ func run(args []string) int {
 	fmt.Printf("abwd listening on %s\n", ln.Addr())
 	s := server.New()
 	s.SetWorkers(*workers)
+	if *cache {
+		s.SetCacheBytes(*cacheBytes)
+	}
 	srv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,

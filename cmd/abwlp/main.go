@@ -35,9 +35,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("abwlp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in      = fs.String("i", "", "input JSON file (default: stdin)")
-		out     = fs.String("o", "", "output JSON file (default: stdout)")
-		workers = fs.Int("workers", 0, "enumeration workers (0 = automatic or the spec's \"workers\" field, 1 = sequential)")
+		in         = fs.String("i", "", "input JSON file (default: stdin)")
+		out        = fs.String("o", "", "output JSON file (default: stdout)")
+		workers    = fs.Int("workers", 0, "enumeration workers (0 = automatic or the spec's \"workers\" field, 1 = sequential)")
+		cache      = fs.Bool("cache", false, "enable the memo cache (set-family reuse across the solve; answers are identical)")
+		cachestats = fs.Bool("cachestats", false, "print memo-cache counters to stderr (implies -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,6 +78,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *workers != 0 {
 		spec.Workers = *workers
 	}
+	if *cache || *cachestats {
+		spec.Cache = true
+	}
 	ans, err := netjson.Solve(spec)
 	if err != nil {
 		fmt.Fprintln(stderr, "abwlp:", err)
@@ -84,6 +89,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := netjson.WriteAnswer(w, ans); err != nil {
 		fmt.Fprintln(stderr, "abwlp:", err)
 		return 1
+	}
+	if *cachestats && ans.CacheStats != nil {
+		st := ans.CacheStats
+		fmt.Fprintf(stderr, "abwlp: cache: %d hits, %d misses, %d entries, %d bytes retained\n",
+			st.Hits, st.Misses, st.Entries, st.Bytes)
 	}
 	return 0
 }

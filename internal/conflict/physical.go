@@ -21,6 +21,8 @@ type Physical struct {
 	interf [][]float64
 	// signal[j] is the received signal power at link j's receiver.
 	signal []float64
+	// fp memoizes the canonical content fingerprint (fingerprint.go).
+	fp fpMemo
 }
 
 var _ Model = (*Physical)(nil)

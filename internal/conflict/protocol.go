@@ -22,6 +22,8 @@ import (
 // enforced.
 type Protocol struct {
 	net *topology.Network
+	// fp memoizes the canonical content fingerprint (fingerprint.go).
+	fp fpMemo
 }
 
 var _ PairwiseModel = (*Protocol)(nil)

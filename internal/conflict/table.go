@@ -18,6 +18,9 @@ import (
 type Table struct {
 	rates     map[topology.LinkID][]radio.Rate
 	conflicts map[pairKey]bool
+	// fp memoizes the canonical content fingerprint (fingerprint.go);
+	// all SetRates/AddConflict calls must precede the first Fingerprint.
+	fp fpMemo
 }
 
 var _ PairwiseModel = (*Table)(nil)

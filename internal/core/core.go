@@ -23,6 +23,7 @@ import (
 	"abw/internal/conflict"
 	"abw/internal/indepset"
 	"abw/internal/lp"
+	"abw/internal/memo"
 	"abw/internal/schedule"
 	"abw/internal/topology"
 )
@@ -46,11 +47,29 @@ type Options struct {
 	// indepset.Options.Workers): 0 picks automatically, 1 or negative
 	// forces sequential, >1 forces that many workers.
 	Workers int
+	// Cache, when non-nil, memoizes complete set families across calls
+	// keyed by (model fingerprint, universe, enumeration limit) and
+	// collects solver statistics. Safe because complete enumeration is
+	// deterministic: a cached family is byte-identical to a fresh one
+	// (DESIGN.md Sec. 8), so results do not change — only their cost.
+	Cache *memo.Cache
 }
 
 // indepOptions translates the core options into enumeration options.
 func (o Options) indepOptions() indepset.Options {
 	return indepset.Options{Limit: o.SetLimit, Workers: o.Workers}
+}
+
+// enumerate runs a complete maximal-set enumeration through the cache
+// when one is configured (a nil cache passes straight through).
+func (o Options) enumerate(m conflict.Model, universe []topology.LinkID) ([]indepset.Set, error) {
+	return o.Cache.Enumerate(m, universe, o.indepOptions())
+}
+
+// enumeratePartial is enumerate with graceful truncation; truncated
+// families are never cached (their content depends on scheduling).
+func (o Options) enumeratePartial(m conflict.Model, universe []topology.LinkID) ([]indepset.Set, bool, error) {
+	return o.Cache.EnumeratePartial(m, universe, o.indepOptions())
 }
 
 func (o Options) omegaLimit() int {
@@ -96,11 +115,11 @@ func AvailableBandwidth(m conflict.Model, background []Flow, newPath topology.Pa
 	paths = append(paths, newPath)
 	universe := topology.LinkUnion(paths...)
 
-	sets, err := indepset.Enumerate(m, universe, opts.indepOptions())
+	sets, err := opts.enumerate(m, universe)
 	if err != nil {
 		return nil, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
-	return solveWithSets(m, background, newPath, universe, sets)
+	return solveWithSetsCounted(m, background, newPath, universe, sets, opts.Cache)
 }
 
 // AvailableBandwidthLowerBound is AvailableBandwidth with graceful
@@ -121,11 +140,11 @@ func AvailableBandwidthLowerBound(m conflict.Model, background []Flow, newPath t
 	}
 	paths = append(paths, newPath)
 	universe := topology.LinkUnion(paths...)
-	sets, truncated, err := indepset.EnumeratePartial(m, universe, opts.indepOptions())
+	sets, truncated, err := opts.enumeratePartial(m, universe)
 	if err != nil {
 		return nil, false, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
-	res, err := solveWithSets(m, background, newPath, universe, sets)
+	res, err := solveWithSetsCounted(m, background, newPath, universe, sets, opts.Cache)
 	if err != nil {
 		return nil, truncated, err
 	}
@@ -153,6 +172,12 @@ func AvailableBandwidthWithSets(m conflict.Model, background []Flow, newPath top
 }
 
 func solveWithSets(m conflict.Model, background []Flow, newPath topology.Path, universe []topology.LinkID, sets []indepset.Set) (*Result, error) {
+	return solveWithSetsCounted(m, background, newPath, universe, sets, nil)
+}
+
+// solveWithSetsCounted is solveWithSets reporting the solve's pivot
+// count into the (possibly nil) cache's cold-solve counters.
+func solveWithSetsCounted(m conflict.Model, background []Flow, newPath topology.Path, universe []topology.LinkID, sets []indepset.Set, cache *memo.Cache) (*Result, error) {
 	demand := linkDemand(background)
 	newCount := linkCount(newPath)
 
@@ -192,6 +217,7 @@ func solveWithSets(m conflict.Model, background []Flow, newPath topology.Path, u
 	if err != nil {
 		return nil, fmt.Errorf("core: solving Eq.6 LP: %w", err)
 	}
+	cache.AddSolvePivots(false, sol.Pivots, 0)
 	res := &Result{Status: sol.Status, Sets: sets, Links: universe}
 	if sol.Status != lp.Optimal {
 		return res, nil
@@ -222,7 +248,7 @@ func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedu
 		paths = append(paths, f.Path)
 	}
 	universe := topology.LinkUnion(paths...)
-	sets, err := indepset.Enumerate(m, universe, opts.indepOptions())
+	sets, err := opts.enumerate(m, universe)
 	if err != nil {
 		return false, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -261,6 +287,7 @@ func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedu
 	if err != nil {
 		return false, schedule.Schedule{}, fmt.Errorf("core: solving feasibility LP: %w", err)
 	}
+	opts.Cache.AddSolvePivots(false, sol.Pivots, 0)
 	if sol.Status != lp.Optimal {
 		return false, schedule.Schedule{}, nil
 	}
@@ -301,7 +328,7 @@ func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options)
 		paths = append(paths, f.Path)
 	}
 	universe := topology.LinkUnion(paths...)
-	sets, err := indepset.Enumerate(m, universe, opts.indepOptions())
+	sets, err := opts.enumerate(m, universe)
 	if err != nil {
 		return 0, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -346,6 +373,7 @@ func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options)
 	if err != nil {
 		return 0, schedule.Schedule{}, fmt.Errorf("core: solving scale LP: %w", err)
 	}
+	opts.Cache.AddSolvePivots(false, sol.Pivots, 0)
 	if sol.Status != lp.Optimal {
 		return 0, schedule.Schedule{}, nil
 	}

@@ -32,7 +32,7 @@ func MaxMinFair(m conflict.Model, flows []Flow, opts Options) ([]float64, schedu
 		paths = append(paths, f.Path)
 	}
 	universe := topology.LinkUnion(paths...)
-	sets, err := indepset.Enumerate(m, universe, opts.indepOptions())
+	sets, err := opts.enumerate(m, universe)
 	if err != nil {
 		return nil, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"abw/internal/conflict"
+	"abw/internal/estimate"
+	"abw/internal/indepset"
+	"abw/internal/lp"
+	"abw/internal/memo"
+	"abw/internal/schedule"
+	"abw/internal/topology"
+)
+
+// Session amortizes repeated availability queries against one conflict
+// model: the shape an admission loop produces, where the same
+// (universe, candidate path) pair is solved again and again with only
+// the background demands moving between steps. Three layers stack:
+//
+//  1. set families come from Options.Cache (or a fresh enumeration
+//     when no cache is configured) — byte-identical either way;
+//  2. the Eq. 6 LP for each (universe, path) pair is built once with a
+//     row for EVERY universe link (vacuous 0 >= 0 rows are harmless,
+//     and make the structure independent of which links carry demand),
+//     so a background change is a pure right-hand-side update the
+//     retained lp.WarmSolver repairs in a few dual-simplex pivots;
+//  3. feasibility verdicts are memoized by exact demand signature, so
+//     the repeated "is the current background still deliverable?"
+//     check before each admission step costs a map lookup.
+//
+// Answers are exact: the warm-started optimum matches a cold
+// AvailableBandwidth solve within pivot-tolerance arithmetic noise
+// (the session property tests pin this), and set families and
+// feasibility schedules are byte-identical to the cold path's.
+//
+// A Session is safe for concurrent use. Enumeration runs outside the
+// session lock (so parallel workers and the cache's singleflight keep
+// their concurrency); only LP state and the memo maps are guarded.
+type Session struct {
+	m    conflict.Model
+	opts Options
+
+	mu    sync.Mutex
+	avail map[string]*availState
+	feas  map[string]feasResult
+	idle  map[string][]float64
+}
+
+// NewSession wraps the model and options. The options' Cache (which
+// may be nil) also receives the session's warm/cold pivot statistics.
+func NewSession(m conflict.Model, opts Options) *Session {
+	return &Session{
+		m:     m,
+		opts:  opts,
+		avail: make(map[string]*availState),
+		feas:  make(map[string]feasResult),
+		idle:  make(map[string][]float64),
+	}
+}
+
+// Options returns the options the session was built with.
+func (s *Session) Options() Options { return s.opts }
+
+// Model returns the conflict model the session answers for.
+func (s *Session) Model() conflict.Model { return s.m }
+
+// availState is the retained LP for one (universe, path) pair.
+type availState struct {
+	w        *lp.WarmSolver
+	lambdas  []lp.Var
+	sets     []indepset.Set
+	universe []topology.LinkID
+	rowIdx   map[topology.LinkID]int
+
+	// coldPivots remembers the last from-scratch solve's pivot count,
+	// the baseline "pivots saved" is measured against.
+	coldPivots int
+}
+
+// feasResult memoizes one FeasibleDemands verdict.
+type feasResult struct {
+	ok    bool
+	sched schedule.Schedule
+}
+
+// AvailableBandwidth is the session-accelerated equivalent of the
+// package-level AvailableBandwidth: same inputs, same answer, but
+// repeated queries for the same universe and candidate path re-solve
+// warm instead of from scratch.
+func (s *Session) AvailableBandwidth(background []Flow, newPath topology.Path) (*Result, error) {
+	if len(newPath) == 0 {
+		return nil, fmt.Errorf("core: empty new path")
+	}
+	if err := validateFlows(background); err != nil {
+		return nil, err
+	}
+	paths := make([]topology.Path, 0, len(background)+1)
+	for _, f := range background {
+		paths = append(paths, f.Path)
+	}
+	paths = append(paths, newPath)
+	universe := topology.LinkUnion(paths...)
+
+	// Enumeration (and its cache) run unlocked; the family is
+	// deterministic, so a race between two builders of the same state
+	// is settled by whoever inserts first.
+	sets, err := s.opts.enumerate(s.m, universe)
+	if err != nil {
+		return nil, fmt.Errorf("core: enumerating independent sets: %w", err)
+	}
+	demand := linkDemand(background)
+	key := availKey(universe, newPath)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.avail[key]
+	if st == nil {
+		st, err = newAvailState(universe, newPath, sets)
+		if err != nil {
+			return nil, err
+		}
+		s.avail[key] = st
+	}
+	return st.solve(s.opts.Cache, demand)
+}
+
+// newAvailState builds the Eq. 6 LP for the pair once. Unlike the cold
+// path it adds a throughput row for every universe link — including
+// links no set serves and no demand touches — so any later demand
+// vector is reachable by RHS updates alone.
+func newAvailState(universe []topology.LinkID, newPath topology.Path, sets []indepset.Set) (*availState, error) {
+	prob := lp.NewProblem(lp.Maximize)
+	prob.Reserve(len(sets)+1, len(universe)+1)
+	lambdas := addLambdaVars(prob, sets, 0)
+	f := prob.AddVar("f", 1)
+
+	shareRow := make(map[lp.Var]float64, len(lambdas))
+	for _, v := range lambdas {
+		shareRow[v] = 1
+	}
+	if len(shareRow) > 0 {
+		if err := prob.AddOwnedConstraint("total-share", shareRow, lp.LE, 1); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	newCount := linkCount(newPath)
+	rows := lambdaRows(universe, sets, lambdas)
+	rowIdx := make(map[topology.LinkID]int, len(universe))
+	for li, link := range universe {
+		row := rows[li]
+		if c := newCount[link]; c > 0 {
+			row[f] = -float64(c)
+		}
+		rowIdx[link] = prob.NumConstraints()
+		if err := prob.AddOwnedConstraint(linkConsName(link), row, lp.GE, 0); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return &availState{
+		w:        lp.NewWarmSolver(prob),
+		lambdas:  lambdas,
+		sets:     sets,
+		universe: universe,
+		rowIdx:   rowIdx,
+	}, nil
+}
+
+// solve pushes the demand vector into the RHS and resolves — warm when
+// the retained tableau allows it, cold otherwise — reporting pivots
+// into the cache counters.
+func (st *availState) solve(cache *memo.Cache, demand map[topology.LinkID]float64) (*Result, error) {
+	for _, link := range st.universe {
+		if err := st.w.SetRHS(st.rowIdx[link], demand[link]); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	sol, warm, err := st.w.Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("core: solving Eq.6 LP: %w", err)
+	}
+	if warm {
+		cache.AddSolvePivots(true, sol.Pivots, st.coldPivots-sol.Pivots)
+	} else {
+		st.coldPivots = sol.Pivots
+		cache.AddSolvePivots(false, sol.Pivots, 0)
+	}
+
+	res := &Result{Status: sol.Status, Sets: st.sets, Links: st.universe}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.Bandwidth = sol.Objective
+	var sched schedule.Schedule
+	for i, set := range st.sets {
+		if share := sol.Value(st.lambdas[i]); share > 1e-12 {
+			sched.Slots = append(sched.Slots, schedule.Slot{Set: set, Share: share})
+		}
+	}
+	res.Schedule = sched.Normalized()
+	return res, nil
+}
+
+// FeasibleDemands is the session-memoized equivalent of the
+// package-level FeasibleDemands: identical demand signatures over the
+// same universe return the recorded verdict and schedule.
+func (s *Session) FeasibleDemands(flows []Flow) (bool, schedule.Schedule, error) {
+	if err := validateFlows(flows); err != nil {
+		return false, schedule.Schedule{}, err
+	}
+	if len(flows) == 0 {
+		return true, schedule.Schedule{}, nil
+	}
+	paths := make([]topology.Path, 0, len(flows))
+	for _, f := range flows {
+		paths = append(paths, f.Path)
+	}
+	universe := topology.LinkUnion(paths...)
+	demand := linkDemand(flows)
+	key := feasKey(universe, demand)
+
+	s.mu.Lock()
+	if r, ok := s.feas[key]; ok {
+		s.mu.Unlock()
+		return r.ok, copySchedule(r.sched), nil
+	}
+	s.mu.Unlock()
+
+	ok, sched, err := FeasibleDemands(s.m, flows, s.opts)
+	if err != nil {
+		return ok, sched, err
+	}
+	s.mu.Lock()
+	s.feas[key] = feasResult{ok: ok, sched: sched}
+	s.mu.Unlock()
+	return ok, copySchedule(sched), nil
+}
+
+// IdleRatios returns the per-node carrier-sensed idle ratios induced by
+// the flows' minimal-airtime schedule (estimate.NodeIdleRatios over the
+// FeasibleDemands schedule), memoized by the same demand signature as
+// the feasibility verdict. The routing layer asks this before every
+// admission step with an unchanged background, so the repeat costs a
+// map lookup. net must be the network the session's model was built on.
+func (s *Session) IdleRatios(net *topology.Network, flows []Flow) ([]float64, error) {
+	if len(flows) == 0 {
+		idle := make([]float64, net.NumNodes())
+		for i := range idle {
+			idle[i] = 1
+		}
+		return idle, nil
+	}
+	if err := validateFlows(flows); err != nil {
+		return nil, err
+	}
+	paths := make([]topology.Path, 0, len(flows))
+	for _, f := range flows {
+		paths = append(paths, f.Path)
+	}
+	universe := topology.LinkUnion(paths...)
+	key := feasKey(universe, linkDemand(flows))
+
+	s.mu.Lock()
+	if idle, ok := s.idle[key]; ok {
+		s.mu.Unlock()
+		out := make([]float64, len(idle))
+		copy(out, idle)
+		return out, nil
+	}
+	s.mu.Unlock()
+
+	ok, sched, err := s.FeasibleDemands(flows)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: background flows are not jointly schedulable")
+	}
+	idle := estimate.NodeIdleRatios(net, sched)
+	s.mu.Lock()
+	s.idle[key] = idle
+	s.mu.Unlock()
+	out := make([]float64, len(idle))
+	copy(out, idle)
+	return out, nil
+}
+
+// copySchedule hands callers their own slot slice so a memoized
+// schedule cannot be mutated behind the session's back.
+func copySchedule(in schedule.Schedule) schedule.Schedule {
+	if len(in.Slots) == 0 {
+		return in
+	}
+	out := in
+	out.Slots = make([]schedule.Slot, len(in.Slots))
+	copy(out.Slots, in.Slots)
+	return out
+}
+
+// availKey names one (universe, path) LP structure. The path enters as
+// per-link traversal counts — the only way it shapes the LP — so
+// permutations of the same multiset share a state.
+func availKey(universe []topology.LinkID, newPath topology.Path) string {
+	var b strings.Builder
+	for i, l := range universe {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(l)))
+	}
+	b.WriteByte('|')
+	counts := linkCount(newPath)
+	links := make([]topology.LinkID, 0, len(counts))
+	for l := range counts {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for i, l := range links {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(l)))
+		b.WriteByte('x')
+		b.WriteString(strconv.Itoa(counts[l]))
+	}
+	return b.String()
+}
+
+// feasKey names one feasibility question: the universe plus the exact
+// per-link demand vector (float bit patterns, so only truly identical
+// demands share a verdict).
+func feasKey(universe []topology.LinkID, demand map[topology.LinkID]float64) string {
+	var b strings.Builder
+	for i, l := range universe {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(l)))
+	}
+	b.WriteByte('|')
+	for i, l := range universe {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(math.Float64bits(demand[l]), 16))
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"abw/internal/conflict"
+	"abw/internal/geom"
+	"abw/internal/lp"
+	"abw/internal/memo"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// sessionTol bounds warm-vs-cold disagreement on the availability
+// optimum; both paths end on the identical simplex termination
+// criterion, so only pivot-tolerance arithmetic noise separates them.
+const sessionTol = 1e-7
+
+func sessionNetwork(t *testing.T, n int, seed int64) *topology.Network {
+	t.Helper()
+	net, err := topology.Random(radio.NewProfile80211a(), geom.Rect{W: 500, H: 500}, n, seed)
+	if err != nil {
+		t.Fatalf("building network: %v", err)
+	}
+	return net
+}
+
+// randomPath picks a random simple path of up to 4 hops by walking
+// links from a random start node.
+func randomPath(rng *rand.Rand, net *topology.Network) topology.Path {
+	links := net.Links()
+	if len(links) == 0 {
+		return nil
+	}
+	start := links[rng.Intn(len(links))]
+	path := topology.Path{start.ID}
+	cur := start.Rx
+	visited := map[topology.NodeID]bool{start.Tx: true, start.Rx: true}
+	for hop := 1; hop < 4; hop++ {
+		var next []topology.Link
+		for _, l := range links {
+			if l.Tx == cur && !visited[l.Rx] {
+				next = append(next, l)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		l := next[rng.Intn(len(next))]
+		path = append(path, l.ID)
+		visited[l.Rx] = true
+		cur = l.Rx
+	}
+	return path
+}
+
+// TestSessionMatchesColdAvailability is the warm-start invariant at the
+// model level: across randomized admission-like sequences — a fixed
+// candidate path queried repeatedly while background flows accumulate —
+// every session answer (status, bandwidth, sets, links) matches a cold
+// AvailableBandwidth call on the same inputs.
+func TestSessionMatchesColdAvailability(t *testing.T) {
+	rng := rand.New(rand.NewSource(8086))
+	for trial := 0; trial < 8; trial++ {
+		net := sessionNetwork(t, 10, int64(100+trial))
+		m := conflict.NewPhysical(net)
+		cache := memo.New(0)
+		sess := NewSession(m, Options{Cache: cache})
+
+		candidate := randomPath(rng, net)
+		if len(candidate) == 0 {
+			continue
+		}
+		var background []Flow
+		for step := 0; step < 6; step++ {
+			got, err := sess.AvailableBandwidth(background, candidate)
+			if err != nil {
+				t.Fatalf("trial %d step %d: session: %v", trial, step, err)
+			}
+			want, err := AvailableBandwidth(m, background, candidate, Options{})
+			if err != nil {
+				t.Fatalf("trial %d step %d: cold: %v", trial, step, err)
+			}
+			if got.Status != want.Status {
+				t.Fatalf("trial %d step %d: status %v, cold %v", trial, step, got.Status, want.Status)
+			}
+			if math.Abs(got.Bandwidth-want.Bandwidth) > sessionTol {
+				t.Fatalf("trial %d step %d: bandwidth %.12g, cold %.12g",
+					trial, step, got.Bandwidth, want.Bandwidth)
+			}
+			if len(got.Sets) != len(want.Sets) {
+				t.Fatalf("trial %d step %d: %d sets, cold %d", trial, step, len(got.Sets), len(want.Sets))
+			}
+			for i := range want.Sets {
+				if got.Sets[i].Key() != want.Sets[i].Key() {
+					t.Fatalf("trial %d step %d: set %d differs", trial, step, i)
+				}
+			}
+			// Grow the background along the same universe so the next
+			// query is a pure bound change: claim part of what's left.
+			if want.Status == lp.Optimal && want.Bandwidth > 0.2 {
+				claim := want.Bandwidth * (0.2 + 0.3*rng.Float64())
+				background = append(background, Flow{Path: candidate, Demand: claim})
+			}
+		}
+		st := cache.Stats()
+		if st.WarmResolves == 0 {
+			t.Fatalf("trial %d: admission-like sequence never warm-started (stats %+v)", trial, st)
+		}
+	}
+}
+
+// TestSessionWarmSavesPivots pins the efficiency claim the stats
+// surface reports: across a repeated-query sequence the warm resolves
+// must spend fewer pivots per solve than the cold baseline.
+func TestSessionWarmSavesPivots(t *testing.T) {
+	net := sessionNetwork(t, 12, 7)
+	m := conflict.NewPhysical(net)
+	cache := memo.New(0)
+	sess := NewSession(m, Options{Cache: cache})
+	rng := rand.New(rand.NewSource(11))
+
+	candidate := randomPath(rng, net)
+	if len(candidate) == 0 {
+		t.Skip("no path in topology")
+	}
+	var background []Flow
+	for step := 0; step < 10; step++ {
+		res, err := sess.AvailableBandwidth(background, candidate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != lp.Optimal || res.Bandwidth < 0.1 {
+			break
+		}
+		background = append(background, Flow{Path: candidate, Demand: res.Bandwidth * 0.3})
+	}
+	st := cache.Stats()
+	if st.WarmResolves == 0 {
+		t.Fatal("no warm resolves")
+	}
+	if st.WarmResolves > 0 && st.ColdPivots > 0 {
+		warmPerSolve := float64(st.WarmPivots) / float64(st.WarmResolves)
+		coldPerSolve := float64(st.ColdPivots) // one cold solve builds the state
+		if warmPerSolve >= coldPerSolve {
+			t.Fatalf("warm solves not cheaper: %.1f warm pivots/solve vs %.1f cold (stats %+v)",
+				warmPerSolve, coldPerSolve, st)
+		}
+	}
+	if st.PivotsSaved == 0 {
+		t.Fatalf("no pivots reported saved: %+v", st)
+	}
+}
+
+// TestSessionFeasibilityMemo checks the memoized verdict equals the
+// computed one, byte-identical schedule included, and that repeats
+// don't re-enumerate.
+func TestSessionFeasibilityMemo(t *testing.T) {
+	net := sessionNetwork(t, 9, 21)
+	m := conflict.NewPhysical(net)
+	cache := memo.New(0)
+	sess := NewSession(m, Options{Cache: cache})
+	rng := rand.New(rand.NewSource(5))
+
+	path := randomPath(rng, net)
+	if len(path) == 0 {
+		t.Skip("no path in topology")
+	}
+	flows := []Flow{{Path: path, Demand: 1.5}}
+	ok1, sched1, err := sess.FeasibleDemands(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCold, schedCold, err := FeasibleDemands(m, flows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok1 != okCold {
+		t.Fatalf("session verdict %v, cold %v", ok1, okCold)
+	}
+	ok2, sched2, err := sess.FeasibleDemands(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2 != ok1 {
+		t.Fatal("memoized verdict flipped")
+	}
+	if len(sched1.Slots) != len(schedCold.Slots) || len(sched2.Slots) != len(sched1.Slots) {
+		t.Fatalf("schedule slot counts differ: %d / %d / %d",
+			len(sched1.Slots), len(sched2.Slots), len(schedCold.Slots))
+	}
+	for i := range sched1.Slots {
+		if sched1.Slots[i].Set.Key() != sched2.Slots[i].Set.Key() {
+			t.Fatalf("memoized schedule set %d differs", i)
+		}
+		if math.Abs(sched1.Slots[i].Share-sched2.Slots[i].Share) != 0 {
+			t.Fatalf("memoized schedule share %d differs", i)
+		}
+	}
+	// Mutating the returned schedule must not corrupt the memo.
+	if len(sched2.Slots) > 0 {
+		sched2.Slots[0].Share = -1
+		_, sched3, err := sess.FeasibleDemands(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sched3.Slots) > 0 && sched3.Slots[0].Share == -1 {
+			t.Fatal("caller mutation leaked into the memoized schedule")
+		}
+	}
+}
+
+// TestSessionConcurrentQueries drives one session from many goroutines
+// mixing availability and feasibility queries; run under -race in CI.
+func TestSessionConcurrentQueries(t *testing.T) {
+	net := sessionNetwork(t, 10, 33)
+	m := conflict.NewPhysical(net)
+	sess := NewSession(m, Options{Cache: memo.New(0)})
+	rng := rand.New(rand.NewSource(3))
+	paths := make([]topology.Path, 0, 4)
+	for i := 0; i < 8 && len(paths) < 4; i++ {
+		if p := randomPath(rng, net); len(p) > 0 {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		t.Skip("no paths in topology")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := paths[g%len(paths)]
+			bg := []Flow{{Path: paths[(g+1)%len(paths)], Demand: 0.5}}
+			for i := 0; i < 5; i++ {
+				if _, err := sess.AvailableBandwidth(bg, p); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if _, _, err := sess.FeasibleDemands(bg); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -32,7 +32,7 @@ func EstimatorAdmission() (*Table, error) {
 		falseReject := 0
 		var admitted []core.Flow
 		for _, req := range reqs {
-			idle, err := routing.BackgroundIdleness(net, m, admitted, core.Options{})
+			idle, err := routing.BackgroundIdleness(net, m, admitted, queryOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -40,7 +40,7 @@ func EstimatorAdmission() (*Table, error) {
 			if err != nil {
 				continue // unroutable under current load: skip
 			}
-			sched, err := routing.BackgroundSchedule(m, admitted, core.Options{})
+			sched, err := routing.BackgroundSchedule(m, admitted, queryOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -52,7 +52,7 @@ func EstimatorAdmission() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.AvailableBandwidth(m, admitted, path, core.Options{})
+			res, err := core.AvailableBandwidth(m, admitted, path, queryOptions())
 			if err != nil {
 				return nil, err
 			}

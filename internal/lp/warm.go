@@ -1,0 +1,267 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WarmSolver re-solves one Problem across a sequence of right-hand-side
+// changes without starting the simplex from scratch each time. The
+// admission loop's availability LPs have exactly that shape: the
+// constraint matrix (set rate vectors, path membership) is fixed while
+// the per-link background demands — pure RHS — move between steps.
+//
+// After a cold Solve, the final tableau is retained. Its rows are
+// B⁻¹·A with the rhs column B⁻¹·b, and each row's original identity
+// column (the LE slack, or the GE/EQ artificial, kept in the tableau
+// even though barred from the basis) currently holds B⁻¹·e_row. A
+// change Δ to constraint k's rhs therefore updates the whole rhs
+// column in one saxpy: rhs += Δ·column(unitCol[k]). The retained basis
+// stays dual-feasible — the reduced costs don't involve b — so a few
+// dual-simplex pivots restore primal feasibility, followed by a primal
+// cleanup pass that re-establishes the exact optimality criterion the
+// cold path uses. When anything about the warm path is off — structure
+// grew, the dual loop stalls, a basic artificial resurfaces above
+// tolerance, or dual simplex claims infeasibility — Resolve falls back
+// to a cold solve, so its answers always match Problem.Solve within
+// pivotTol-scale arithmetic noise.
+//
+// A WarmSolver owns its Problem between calls: the caller may change
+// bounds through SetRHS and objective coefficients through the
+// Problem's SetObjCoef (the next Resolve then runs cold), but must not
+// add variables or constraints after the first Solve without expecting
+// cold re-solves.
+//
+// WarmSolver is not safe for concurrent use.
+type WarmSolver struct {
+	p   *Problem
+	tab *tableau
+
+	// Dimensions at tableau build time; growth forces a cold rebuild.
+	nVars, nCons int
+
+	lastPivots int
+	lastWarm   bool
+	warmCount  int
+}
+
+// NewWarmSolver wraps p. The first Solve (or Resolve) runs cold and
+// retains the tableau.
+func NewWarmSolver(p *Problem) *WarmSolver {
+	return &WarmSolver{p: p}
+}
+
+// Problem returns the wrapped problem.
+func (w *WarmSolver) Problem() *Problem { return w.p }
+
+// Solve runs a cold two-phase solve and retains the final tableau for
+// later warm resolves. Only an Optimal tableau is retained: that is
+// the dual-feasibility precondition warm-starting needs.
+func (w *WarmSolver) Solve() (*Solution, error) {
+	sol, tb, err := w.p.solve()
+	if err != nil {
+		w.tab = nil
+		return nil, err
+	}
+	w.retain(tb)
+	w.lastPivots = sol.Pivots
+	w.lastWarm = false
+	return sol, nil
+}
+
+func (w *WarmSolver) retain(tb *tableau) {
+	w.tab = tb
+	if tb != nil {
+		w.nVars = w.p.NumVars()
+		w.nCons = w.p.NumConstraints()
+	}
+}
+
+// SetRHS changes the right-hand side of constraint k and, when a
+// tableau is retained, pushes the change through the retained inverse
+// so the next Resolve can start warm.
+func (w *WarmSolver) SetRHS(k int, rhs float64) error {
+	old := w.p.RHS(k)
+	if err := w.p.SetRHS(k, rhs); err != nil {
+		return err
+	}
+	if w.tab == nil {
+		return nil
+	}
+	if k >= len(w.tab.t) {
+		// A constraint added after the build; the tableau no longer
+		// describes the problem.
+		w.tab = nil
+		return nil
+	}
+	// Normalized-system delta: the row was scaled by rowSign at build
+	// time, and stays scaled that way forever (re-normalizing on a sign
+	// flip would be a different but equivalent system; keeping the
+	// original sign keeps the feasible region and lets the rhs column
+	// go negative, which is exactly what dual simplex repairs).
+	delta := w.tab.rowSign[k] * (rhs - old)
+	//lint:ignore abw/floateq exact no-op skip: an unchanged bound must not dirty the rhs column at all
+	if delta == 0 {
+		return nil
+	}
+	tb := w.tab
+	for i := range tb.t {
+		//lint:ignore abw/floateq exact-zero saxpy skip: true zeros contribute nothing
+		if v := tb.t[i][tb.unitCol[k]]; v != 0 {
+			tb.t[i][tb.total] += delta * v
+		}
+	}
+	return nil
+}
+
+// Resolve solves the problem as it currently stands. When the retained
+// tableau is usable it runs the warm path — dual simplex to restore
+// primal feasibility, then a primal cleanup — and reports warm=true;
+// otherwise (no tableau, structural growth, or any warm-path bailout)
+// it re-solves cold and retains the fresh tableau.
+func (w *WarmSolver) Resolve() (*Solution, bool, error) {
+	if w.tab != nil && (w.p.NumVars() != w.nVars || w.p.NumConstraints() != w.nCons) {
+		w.tab = nil
+	}
+	if w.tab != nil {
+		sol, ok, err := w.tab.dualResolve(w.p)
+		if err != nil {
+			w.tab = nil
+			return nil, false, err
+		}
+		if ok {
+			w.lastPivots = sol.Pivots
+			w.lastWarm = true
+			w.warmCount++
+			return sol, true, nil
+		}
+		// Warm path bailed out (stall, surviving artificial, or a
+		// dual-infeasibility verdict we only trust from a cold solve).
+		w.tab = nil
+	}
+	sol, tb, err := w.p.solve()
+	if err != nil {
+		return nil, false, err
+	}
+	w.retain(tb)
+	w.lastPivots = sol.Pivots
+	w.lastWarm = false
+	return sol, false, nil
+}
+
+// LastPivots returns the pivot count of the most recent Solve/Resolve.
+func (w *WarmSolver) LastPivots() int { return w.lastPivots }
+
+// LastWarm reports whether the most recent Resolve took the warm path.
+func (w *WarmSolver) LastWarm() bool { return w.lastWarm }
+
+// WarmResolves returns how many Resolve calls took the warm path.
+func (w *WarmSolver) WarmResolves() int { return w.warmCount }
+
+// dualResolve runs dual simplex on the retained tableau to repair
+// primal feasibility after rhs changes, then a primal cleanup pass.
+// ok=false means the warm path cannot vouch for the result (the caller
+// re-solves cold); err is reserved for malformed problems.
+func (tb *tableau) dualResolve(p *Problem) (*Solution, bool, error) {
+	if p.sense != Minimize && p.sense != Maximize {
+		return nil, false, fmt.Errorf("lp: invalid sense %d", int(p.sense))
+	}
+	t, basis, total := tb.t, tb.basis, tb.total
+	c2 := tb.phase2Costs(p)
+	startPivots := tb.pivots
+
+	for iter := 0; ; iter++ {
+		if iter >= maxPivots {
+			return nil, false, nil // stalled; cold solve decides
+		}
+		// Leaving row: most negative rhs.
+		leaving := -1
+		worst := -feasTol
+		for i := range t {
+			if v := t[i][total]; v < worst {
+				worst = v
+				leaving = i
+			}
+		}
+		if leaving < 0 {
+			break // primal feasible again
+		}
+		// Entering column: dual ratio test. Among eligible columns
+		// (negative entry in the leaving row, artificials barred) pick
+		// the one minimizing reduced-cost / |entry|, so the reduced
+		// costs stay non-negative — dual feasibility is the loop
+		// invariant. Ties break toward the lowest column index
+		// (Bland-style, prevents cycling on degenerate duals).
+		red := tb.reducedCosts(c2)
+		entering := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < total; j++ {
+			if tb.isArt[j] {
+				continue
+			}
+			a := t[leaving][j]
+			if a >= -pivotTol {
+				continue
+			}
+			rc := red[j]
+			if rc < 0 {
+				rc = 0 // clamp tolerance-scale dual noise
+			}
+			ratio := rc / -a
+			if ratio < bestRatio-pivotTol {
+				bestRatio = ratio
+				entering = j
+			}
+		}
+		if entering < 0 {
+			// Dual simplex says infeasible. Sound in exact arithmetic,
+			// but we only report Infeasible from the cold path so warm
+			// answers can never disagree with it.
+			return nil, false, nil
+		}
+		pivot(t, basis, leaving, entering)
+		tb.pivots++
+	}
+
+	// A basic artificial above tolerance means the repaired point does
+	// not satisfy the original constraints; only phase 1 can judge that.
+	for i, b := range basis {
+		if tb.isArt[b] && math.Abs(t[i][total]) > feasTol {
+			return nil, false, nil
+		}
+	}
+
+	// Primal cleanup: rhs changes don't touch reduced costs, but the
+	// clamp above can hide tolerance-scale dual infeasibility. Finish
+	// with the same primal loop the cold path ends on, so warm and cold
+	// optima satisfy the identical termination criterion.
+	status, err := tb.primal(c2, tb.isArt)
+	if err != nil {
+		return nil, false, nil // stalled; cold solve decides
+	}
+	if status != Optimal {
+		return nil, false, nil // unbounded from a warm basis: distrust, go cold
+	}
+	sol := tb.solution(p)
+	sol.Pivots = tb.pivots - startPivots
+	return sol, true, nil
+}
+
+// reducedCosts computes r_j = c_j − c_B·B⁻¹·A_j into the shared
+// scratch vector. The tableau rows already are B⁻¹·A, so the basis
+// multiplier c[basis[i]] is fixed per row; accumulation order matches
+// the primal loop's for bit-identical values.
+func (tb *tableau) reducedCosts(c []float64) []float64 {
+	red := tb.red
+	copy(red, c)
+	for i := 0; i < len(tb.t); i++ {
+		//lint:ignore abw/floateq exact-zero multiplier skip: omitting true-zero terms keeps the sum bit-identical
+		if cb := c[tb.basis[i]]; cb != 0 {
+			ti := tb.t[i]
+			for j := 0; j < tb.total; j++ {
+				red[j] -= cb * ti[j]
+			}
+		}
+	}
+	return red
+}

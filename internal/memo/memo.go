@@ -1,0 +1,339 @@
+// Package memo is the query-plan cache of the admission pipeline: it
+// amortizes the combinatorial work a long-lived controller repeats
+// while answering a stream of admit/teardown/availability queries over
+// a slowly-changing network.
+//
+// Its centerpiece is the set-family cache: enumerated rate-coupled
+// maximal independent-set families keyed by a canonical fingerprint of
+// (conflict-model identity, link universe, enumeration limit). Complete
+// families are deterministic — byte-identical across worker counts
+// (DESIGN.md Sec. 8) — so a cached family is bit-for-bit the family a
+// fresh enumeration would produce, and the cache is invisible to every
+// result. Three mechanisms keep it cheap and bounded:
+//
+//   - LRU eviction by retained-set bytes: every entry is charged its
+//     approximate retained size and the least recently used families
+//     are dropped once the configured budget is exceeded;
+//   - singleflight deduplication: concurrent enumerations of the same
+//     key collapse into one walk, with the waiters counted as merges;
+//   - plain sync/atomic counters (hits, misses, evictions, merges,
+//     pivots saved by LP warm-starting, cached bytes) exposed through
+//     Stats for the abwd GET /stats surface and the -cachestats flags.
+//
+// The cache also carries the warm-start counters of the sequential
+// admission session (internal/core.Session): the session reports cold
+// and warm simplex pivot counts here so one stats surface covers the
+// whole amortization layer. Truncated (partial) enumerations are never
+// stored: their content depends on scheduling, so caching them would
+// break the byte-identity contract.
+package memo
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"abw/internal/conflict"
+	"abw/internal/indepset"
+	"abw/internal/topology"
+)
+
+// DefaultMaxBytes is the retained-set budget used when New is given a
+// non-positive size: 64 MiB, a few thousand mid-size families.
+const DefaultMaxBytes = 64 << 20
+
+// Cache is the set-family cache. Create with New; a nil *Cache is valid
+// and bypasses caching entirely (every call enumerates fresh), so
+// callers can thread an optional cache without branching.
+type Cache struct {
+	maxBytes int64
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key -> *entry element
+	ll       *list.List               // front = most recently used
+	bytes    int64                    // retained bytes, guarded by mu
+	inflight map[string]*flight
+
+	// Counters. Every access goes through sync/atomic (the
+	// abw/atomicfield lint rule enforces it): Stats() must be callable
+	// concurrently with enumerations without taking mu.
+	hits         int64
+	misses       int64
+	bypasses     int64
+	evictions    int64
+	merges       int64
+	coldPivots   int64
+	warmPivots   int64
+	warmResolves int64
+	pivotsSaved  int64
+}
+
+type entry struct {
+	key  string
+	sets []indepset.Set
+	size int64
+}
+
+// flight is one in-progress enumeration other goroutines may join.
+type flight struct {
+	done      chan struct{}
+	sets      []indepset.Set
+	truncated bool
+	err       error
+}
+
+// New returns a cache with the given retained-bytes budget; sizes <= 0
+// use DefaultMaxBytes.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		ll:       list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Key derives the canonical cache key for an enumeration of links under
+// m with the given options, and reports whether the model supports
+// keying at all. The key is insensitive to the order (and duplication)
+// of links, embeds the effective enumeration limit, and deliberately
+// excludes Workers: complete families are byte-identical at every
+// worker count. The second return is false when m does not implement
+// conflict.Fingerprinter — such enumerations bypass the cache.
+func Key(m conflict.Model, links []topology.LinkID, opts indepset.Options) (string, bool) {
+	fp := conflict.FallbackFingerprint(m)
+	if fp == "" {
+		return "", false
+	}
+	universe := canonicalUniverse(links)
+	var b strings.Builder
+	b.Grow(len(fp) + 16 + 8*len(universe))
+	b.WriteString(fp)
+	b.WriteString("|l")
+	b.WriteString(strconv.Itoa(opts.EffectiveLimit()))
+	b.WriteString("|u")
+	for _, l := range universe {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(l)))
+	}
+	return b.String(), true
+}
+
+// canonicalUniverse sorts and deduplicates links, matching the
+// canonicalization enumeration itself performs.
+func canonicalUniverse(links []topology.LinkID) []topology.LinkID {
+	out := make([]topology.LinkID, len(links))
+	copy(out, links)
+	for i := 1; i < len(out); i++ { // insertion sort: universes are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	w := 0
+	for i, l := range out {
+		if i == 0 || l != out[w-1] {
+			out[w] = l
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Enumerate is indepset.Enumerate through the cache: a complete family
+// previously enumerated for the same key is returned without walking.
+// The returned slice is a fresh header over shared Set values; callers
+// must treat the sets as read-only (they already must — core hands the
+// same backing to every Result).
+func (c *Cache) Enumerate(m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, error) {
+	sets, truncated, err := c.enumerate(m, links, opts)
+	if err != nil {
+		return nil, err
+	}
+	if truncated {
+		return nil, indepset.ErrLimit
+	}
+	return sets, nil
+}
+
+// EnumeratePartial is indepset.EnumeratePartial through the cache.
+// Complete cached families satisfy partial lookups too; truncated
+// results are handed back but never stored (their content depends on
+// scheduling).
+func (c *Cache) EnumeratePartial(m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
+	return c.enumerate(m, links, opts)
+}
+
+func (c *Cache) enumerate(m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
+	if c == nil {
+		return indepset.EnumeratePartial(m, links, opts)
+	}
+	key, ok := Key(m, links, opts)
+	if !ok {
+		atomic.AddInt64(&c.bypasses, 1)
+		return indepset.EnumeratePartial(m, links, opts)
+	}
+
+	c.mu.Lock()
+	if el, hit := c.entries[key]; hit {
+		c.ll.MoveToFront(el)
+		sets := el.Value.(*entry).sets
+		c.mu.Unlock()
+		atomic.AddInt64(&c.hits, 1)
+		return copyFamily(sets), false, nil
+	}
+	if fl, joined := c.inflight[key]; joined {
+		c.mu.Unlock()
+		atomic.AddInt64(&c.merges, 1)
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		return copyFamily(fl.sets), fl.truncated, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	atomic.AddInt64(&c.misses, 1)
+	fl.sets, fl.truncated, fl.err = indepset.EnumeratePartial(m, links, opts)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil && !fl.truncated {
+		c.insertLocked(key, fl.sets)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+
+	if fl.err != nil {
+		return nil, false, fl.err
+	}
+	return copyFamily(fl.sets), fl.truncated, nil
+}
+
+// insertLocked stores a complete family and evicts LRU entries until
+// the byte budget holds again. An entry larger than the whole budget is
+// inserted and immediately evicted, so it never displaces useful state
+// for long. Caller holds mu.
+func (c *Cache) insertLocked(key string, sets []indepset.Set) {
+	e := &entry{key: key, sets: sets, size: familyBytes(key, sets)}
+	c.entries[key] = c.ll.PushFront(e)
+	c.bytes += e.size
+	for c.bytes > c.maxBytes && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.entries, ev.key)
+		c.bytes -= ev.size
+		atomic.AddInt64(&c.evictions, 1)
+	}
+}
+
+// familyBytes approximates the retained size of a cached family: the
+// key, each set's couples and cached key string, and fixed per-set
+// overhead for the Set header and bookkeeping.
+func familyBytes(key string, sets []indepset.Set) int64 {
+	const (
+		coupleBytes   = 16 // LinkID + Rate
+		setOverhead   = 48 // Set header + slice header + key header
+		entryOverhead = 96 // entry struct + list element + map slot
+	)
+	n := int64(entryOverhead + len(key))
+	for i := range sets {
+		n += setOverhead + int64(len(sets[i].Couples))*coupleBytes + int64(len(sets[i].Key()))
+	}
+	return n
+}
+
+// copyFamily returns a fresh slice header over the shared Set values,
+// so callers appending to or re-sorting the family cannot corrupt the
+// cached copy.
+func copyFamily(sets []indepset.Set) []indepset.Set {
+	out := make([]indepset.Set, len(sets))
+	copy(out, sets)
+	return out
+}
+
+// AddSolvePivots accounts one LP solve of the warm-start layer: a cold
+// (from-scratch) solve contributes its pivot count to ColdPivots; a
+// warm re-solve contributes to WarmPivots and WarmResolves, plus the
+// estimated pivots it saved versus the last cold solve of the same
+// problem shape. A nil cache ignores the report.
+func (c *Cache) AddSolvePivots(warm bool, pivots, saved int) {
+	if c == nil {
+		return
+	}
+	if warm {
+		atomic.AddInt64(&c.warmPivots, int64(pivots))
+		atomic.AddInt64(&c.warmResolves, 1)
+		if saved > 0 {
+			atomic.AddInt64(&c.pivotsSaved, int64(saved))
+		}
+	} else {
+		atomic.AddInt64(&c.coldPivots, int64(pivots))
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters, shaped for
+// the abwd GET /stats endpoint and the -cachestats CLI flags.
+type Stats struct {
+	// Hits counts lookups answered from a stored family.
+	Hits int64 `json:"hits"`
+	// Misses counts enumerations this cache had to run.
+	Misses int64 `json:"misses"`
+	// Bypasses counts enumerations of models with no fingerprint.
+	Bypasses int64 `json:"bypasses"`
+	// Evictions counts families dropped by the LRU byte budget.
+	Evictions int64 `json:"evictions"`
+	// SingleflightMerges counts concurrent duplicate enumerations that
+	// joined another goroutine's walk instead of running their own.
+	SingleflightMerges int64 `json:"singleflightMerges"`
+	// Entries and Bytes describe the currently retained families.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes is the configured retention budget.
+	MaxBytes int64 `json:"maxBytes"`
+	// ColdPivots and WarmPivots count simplex pivots spent by cold
+	// solves and warm re-solves in the LP warm-start layer;
+	// WarmResolves counts the re-solves. PivotsSaved estimates pivots
+	// avoided: for each warm re-solve, the last cold solve's pivot
+	// count for the same problem shape minus the warm pivot count.
+	ColdPivots   int64 `json:"coldPivots"`
+	WarmPivots   int64 `json:"warmPivots"`
+	WarmResolves int64 `json:"warmResolves"`
+	PivotsSaved  int64 `json:"pivotsSaved"`
+}
+
+// Stats returns a snapshot of the counters. Safe to call concurrently
+// with enumerations; a nil cache reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	entries := len(c.entries)
+	bytes := c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Hits:               atomic.LoadInt64(&c.hits),
+		Misses:             atomic.LoadInt64(&c.misses),
+		Bypasses:           atomic.LoadInt64(&c.bypasses),
+		Evictions:          atomic.LoadInt64(&c.evictions),
+		SingleflightMerges: atomic.LoadInt64(&c.merges),
+		Entries:            entries,
+		Bytes:              bytes,
+		MaxBytes:           c.maxBytes,
+		ColdPivots:         atomic.LoadInt64(&c.coldPivots),
+		WarmPivots:         atomic.LoadInt64(&c.warmPivots),
+		WarmResolves:       atomic.LoadInt64(&c.warmResolves),
+		PivotsSaved:        atomic.LoadInt64(&c.pivotsSaved),
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"abw/internal/estimate"
 	"abw/internal/geom"
 	"abw/internal/lp"
+	"abw/internal/memo"
 	"abw/internal/radio"
 	"abw/internal/routing"
 	"abw/internal/topology"
@@ -50,10 +51,18 @@ type Spec struct {
 	// indepset.Options.Workers; 0 = automatic, 1 = sequential). The
 	// answer is identical at every setting.
 	Workers int `json:"workers,omitempty"`
+	// Cache enables the memo cache for the solve: set families
+	// enumerated for the availability LP are reused by the background
+	// schedule and estimates, and the answer reports the counters. The
+	// numbers are identical either way.
+	Cache bool `json:"cache,omitempty"`
+
+	// cache is the per-solve memo instance when Cache is set.
+	cache *memo.Cache
 }
 
 func (s *Spec) coreOptions() core.Options {
-	return core.Options{Workers: s.Workers}
+	return core.Options{Workers: s.Workers, Cache: s.cache}
 }
 
 // SlotAnswer is one schedule slot of the answer.
@@ -70,6 +79,9 @@ type Answer struct {
 	PathLinks []int              `json:"pathLinks"`
 	Schedule  []SlotAnswer       `json:"schedule,omitempty"`
 	Estimates map[string]float64 `json:"estimates,omitempty"`
+	// CacheStats reports the memo-cache counters when the spec enabled
+	// caching.
+	CacheStats *memo.Stats `json:"cacheStats,omitempty"`
 }
 
 // ParseSpec decodes a Spec from JSON.
@@ -155,6 +167,9 @@ func (s *Spec) queryPath(net *topology.Network, m conflict.Model, background []c
 // Solve answers the spec: exact available bandwidth (Eq. 6), the
 // delivering schedule, and all five distributed estimates.
 func Solve(s *Spec) (*Answer, error) {
+	if s.Cache && s.cache == nil {
+		s.cache = memo.New(0)
+	}
 	net, err := s.BuildNetwork()
 	if err != nil {
 		return nil, err
@@ -181,7 +196,12 @@ func Solve(s *Spec) (*Answer, error) {
 		return nil, err
 	}
 	if res.Status != lp.Optimal {
-		return ans, nil // infeasible background: Feasible stays false
+		// Infeasible background: Feasible stays false.
+		if s.cache != nil {
+			st := s.cache.Stats()
+			ans.CacheStats = &st
+		}
+		return ans, nil
 	}
 	ans.Feasible = true
 	ans.Bandwidth = res.Bandwidth
@@ -208,6 +228,10 @@ func Solve(s *Spec) (*Answer, error) {
 	ans.Estimates = make(map[string]float64, len(ests))
 	for metric, v := range ests {
 		ans.Estimates[metric.String()] = v
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		ans.CacheStats = &st
 	}
 	return ans, nil
 }

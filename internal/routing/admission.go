@@ -56,10 +56,18 @@ func SequentialAdmission(
 	requests []Request,
 	opts AdmissionOptions,
 ) ([]Decision, error) {
+	// A configured cache opts the run into session acceleration: set
+	// families, warm-started availability LPs and memoized feasibility
+	// verdicts persist across the admission steps. Answers are the same
+	// either way (core's session property tests pin warm == cold).
+	var sess *core.Session
+	if opts.Core.Cache != nil {
+		sess = core.NewSession(m, opts.Core)
+	}
 	var admitted []core.Flow
 	decisions := make([]Decision, 0, len(requests))
 	for _, req := range requests {
-		dec, err := admitOne(net, m, metric, req, admitted, opts.Core)
+		dec, err := admitOne(net, m, metric, req, admitted, opts.Core, sess)
 		if err != nil {
 			return decisions, err
 		}
@@ -80,12 +88,13 @@ func admitOne(
 	req Request,
 	admitted []core.Flow,
 	coreOpts core.Options,
+	sess *core.Session,
 ) (Decision, error) {
 	dec := Decision{Request: req}
 	if req.Demand <= 0 {
 		return dec, fmt.Errorf("routing: request demand must be positive, got %g", req.Demand)
 	}
-	idle, err := BackgroundIdleness(net, m, admitted, coreOpts)
+	idle, err := backgroundIdleness(net, m, admitted, coreOpts, sess)
 	if err != nil {
 		return dec, err
 	}
@@ -99,7 +108,12 @@ func admitOne(
 	}
 	dec.Path = path
 
-	res, err := core.AvailableBandwidth(m, admitted, path, coreOpts)
+	var res *core.Result
+	if sess != nil {
+		res, err = sess.AvailableBandwidth(admitted, path)
+	} else {
+		res, err = core.AvailableBandwidth(m, admitted, path, coreOpts)
+	}
 	if err != nil {
 		return dec, fmt.Errorf("routing: availability of %v: %w", path, err)
 	}
@@ -122,6 +136,17 @@ func admitOne(
 // and each node senses it. With no background, every node is fully
 // idle.
 func BackgroundIdleness(net *topology.Network, m conflict.Model, admitted []core.Flow, coreOpts core.Options) ([]float64, error) {
+	return backgroundIdleness(net, m, admitted, coreOpts, nil)
+}
+
+// backgroundIdleness is BackgroundIdleness optionally answering the
+// feasibility question through a session's memo.
+func backgroundIdleness(net *topology.Network, m conflict.Model, admitted []core.Flow, coreOpts core.Options, sess *core.Session) ([]float64, error) {
+	if sess != nil {
+		// The session memoizes the whole schedule → idle-ratio pipeline
+		// by demand signature.
+		return sess.IdleRatios(net, admitted)
+	}
 	if len(admitted) == 0 {
 		idle := make([]float64, net.NumNodes())
 		for i := range idle {

@@ -11,9 +11,14 @@
 //	POST   /v1/flows          route, check and admit a flow
 //	GET    /v1/flows          list admitted flows
 //	DELETE /v1/flows/{id}     tear a flow down, freeing its bandwidth
+//	GET    /v1/stats          memo-cache and warm-start counters (also /stats)
 //
-// The server is safe for concurrent use; admissions serialize on the
-// state mutex so decisions are consistent.
+// The server is safe for concurrent use. The state mutex is held only
+// long enough to snapshot or mutate state — availability computation
+// (enumeration + LP) runs unlocked, so slow queries never block cheap
+// requests. Admissions serialize on a separate admission mutex and
+// re-check the network generation before committing, so decisions stay
+// consistent without holding the state lock across the solve.
 package server
 
 import (
@@ -29,6 +34,7 @@ import (
 	"abw/internal/estimate"
 	"abw/internal/geom"
 	"abw/internal/lp"
+	"abw/internal/memo"
 	"abw/internal/netjson"
 	"abw/internal/radio"
 	"abw/internal/routing"
@@ -44,13 +50,56 @@ type Server struct {
 	model   *conflict.Physical
 	flows   map[int]*flowRecord
 	nextID  int
+	gen     int // bumped on every network install; guards admissions
 	maxBody int64
 	workers int
+	cache   *memo.Cache
+	sess    *core.Session
+
+	// admitMu serializes admission decisions (snapshot → compute →
+	// commit) without blocking read-only queries on the state mutex.
+	admitMu sync.Mutex
+
+	// computeHook, when non-nil, runs at the start of every unlocked
+	// availability computation. Tests use it to hold queries in flight
+	// deterministically; production leaves it nil.
+	computeHook func()
 }
 
 // coreOptions returns the core options every computation uses.
 func (s *Server) coreOptions() core.Options {
-	return core.Options{Workers: s.workers}
+	return core.Options{Workers: s.workers, Cache: s.cache}
+}
+
+// snapshot is an immutable view of the server state: the network and
+// model are immutable by construction, the background slice is a copy,
+// and the session is internally synchronized — everything a
+// computation needs without holding the state mutex.
+type snapshot struct {
+	net        *topology.Network
+	model      *conflict.Physical
+	sess       *core.Session
+	background []core.Flow
+	gen        int
+	opts       core.Options
+}
+
+// snapshot captures the state under the mutex; ok is false when no
+// network is installed.
+func (s *Server) snapshot() (*snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		return nil, false
+	}
+	return &snapshot{
+		net:        s.net,
+		model:      s.model,
+		sess:       s.sess,
+		background: s.backgroundLocked(),
+		gen:        s.gen,
+		opts:       s.coreOptions(),
+	}, true
 }
 
 type flowRecord struct {
@@ -72,6 +121,28 @@ func New() *Server {
 // before serving requests.
 func (s *Server) SetWorkers(n int) { s.workers = n }
 
+// SetCacheBytes enables the memo cache — set-family memoization, LP
+// warm-starting across queries, and the /v1/stats counters — with the
+// given retained-bytes budget (0 picks memo.DefaultMaxBytes; negative
+// disables caching). Call before serving requests.
+func (s *Server) SetCacheBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		s.cache = nil
+		s.sess = nil
+		return
+	}
+	s.cache = memo.New(n)
+	if s.model != nil {
+		s.sess = core.NewSession(s.model, s.coreOptions())
+	}
+}
+
+// CacheStats returns the memo-cache counters (zero when caching is
+// disabled).
+func (s *Server) CacheStats() memo.Stats { return s.cache.Stats() }
+
 // Handler returns the HTTP handler for the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -81,6 +152,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/flows/", s.handleFlowByID)
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/fairshare", s.handleFairshare)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
 
@@ -141,6 +214,12 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 		s.net = net
 		s.model = conflict.NewPhysical(net)
 		s.flows = make(map[int]*flowRecord)
+		s.gen++
+		if s.cache != nil {
+			// Fresh session: the old network's warm LPs are useless and
+			// its set families age out of the (shared) cache by LRU.
+			s.sess = core.NewSession(s.model, s.coreOptions())
+		}
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, networkSummary{
 			Nodes: net.NumNodes(), Links: net.NumLinks(), Installed: true,
@@ -186,18 +265,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := s.decode(w, r, &req); err != nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.net == nil {
+	snap, ok := s.snapshot()
+	if !ok {
 		writeError(w, http.StatusConflict, "no network installed")
 		return
 	}
-	path, err := s.resolvePathLocked(req.Path, req.Src, req.Dst, req.Metric)
+	// Everything below runs unlocked: queries never block state access.
+	path, err := s.resolvePath(snap, req.Path, req.Src, req.Dst, req.Metric)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := s.availabilityLocked(path)
+	resp, err := s.availability(snap, path)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -245,18 +324,25 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "demandMbps must be positive")
 			return
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.net == nil {
+		// Admissions serialize on admitMu — not the state mutex — so the
+		// expensive solve below never blocks queries or flow listings.
+		// Snapshot → compute → commit; the commit re-checks the network
+		// generation, and flow additions can't race (they all hold
+		// admitMu). A concurrent DELETE only frees capacity, so deciding
+		// against the snapshot's (super)set of flows stays sound.
+		s.admitMu.Lock()
+		defer s.admitMu.Unlock()
+		snap, ok := s.snapshot()
+		if !ok {
 			writeError(w, http.StatusConflict, "no network installed")
 			return
 		}
-		path, err := s.resolvePathLocked(nil, &req.Src, &req.Dst, req.Metric)
+		path, err := s.resolvePath(snap, nil, &req.Src, &req.Dst, req.Metric)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		avail, err := s.availabilityLocked(path)
+		avail, err := s.availability(snap, path)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -272,12 +358,19 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
+		s.mu.Lock()
+		if s.gen != snap.gen {
+			s.mu.Unlock()
+			writeError(w, http.StatusConflict, "network replaced during admission")
+			return
+		}
 		rec := &flowRecord{
 			ID: s.nextID, Src: req.Src, Dst: req.Dst, Demand: req.Demand,
 			Nodes: avail.PathNodes, path: path,
 		}
 		s.nextID++
 		s.flows[rec.ID] = rec
+		s.mu.Unlock()
 		resp.Admitted = true
 		resp.Flow = rec
 		writeJSON(w, http.StatusCreated, resp)
@@ -318,13 +411,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.net == nil {
+	snap, ok := s.snapshot()
+	if !ok {
 		writeError(w, http.StatusConflict, "no network installed")
 		return
 	}
-	sched, err := routing.BackgroundSchedule(s.model, s.backgroundLocked(), s.coreOptions())
+	sched, err := s.backgroundSchedule(snap)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -350,11 +442,13 @@ func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.net == nil {
+		s.mu.Unlock()
 		writeError(w, http.StatusConflict, "no network installed")
 		return
 	}
+	model := s.model
+	opts := s.coreOptions()
 	var flows []core.Flow
 	var ids []int
 	var demands []float64
@@ -365,11 +459,13 @@ func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
 			demands = append(demands, f.Demand)
 		}
 	}
+	s.mu.Unlock()
 	if len(flows) == 0 {
 		writeJSON(w, http.StatusOK, []fairShareEntry{})
 		return
 	}
-	alloc, _, err := core.MaxMinFair(s.model, flows, s.coreOptions())
+	// The max-min LP cascade runs unlocked like every other computation.
+	alloc, _, err := core.MaxMinFair(model, flows, opts)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -381,15 +477,16 @@ func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// resolvePathLocked turns a query into a concrete path: either explicit
-// node IDs or a routed src/dst pair under the admitted background.
-func (s *Server) resolvePathLocked(nodeIDs []int, src, dst *int, metricName string) (topology.Path, error) {
+// resolvePath turns a query into a concrete path: either explicit node
+// IDs or a routed src/dst pair under the snapshot's background. Runs
+// without the state mutex.
+func (s *Server) resolvePath(snap *snapshot, nodeIDs []int, src, dst *int, metricName string) (topology.Path, error) {
 	if len(nodeIDs) > 0 {
 		nodes := make([]topology.NodeID, 0, len(nodeIDs))
 		for _, id := range nodeIDs {
 			nodes = append(nodes, topology.NodeID(id))
 		}
-		return s.net.PathFromNodes(nodes)
+		return snap.net.PathFromNodes(nodes)
 	}
 	if src == nil || dst == nil {
 		return nil, fmt.Errorf("need either path or src+dst")
@@ -408,18 +505,50 @@ func (s *Server) resolvePathLocked(nodeIDs []int, src, dst *int, metricName stri
 			return nil, fmt.Errorf("unknown metric %q", metricName)
 		}
 	}
-	idle, err := routing.BackgroundIdleness(s.net, s.model, s.backgroundLocked(), s.coreOptions())
+	idle, err := s.idleness(snap)
 	if err != nil {
 		return nil, err
 	}
-	return routing.FindPath(s.net, s.model, metric, idle, topology.NodeID(*src), topology.NodeID(*dst))
+	return routing.FindPath(snap.net, snap.model, metric, idle, topology.NodeID(*src), topology.NodeID(*dst))
 }
 
-// availabilityLocked computes exact availability and estimates for the
-// path against the admitted background.
-func (s *Server) availabilityLocked(path topology.Path) (*queryResponse, error) {
-	background := s.backgroundLocked()
-	nodes, err := s.net.PathNodes(path)
+// idleness derives per-node idle ratios for the snapshot's background,
+// going through the session's memo when one is active.
+func (s *Server) idleness(snap *snapshot) ([]float64, error) {
+	if snap.sess != nil {
+		return snap.sess.IdleRatios(snap.net, snap.background)
+	}
+	return routing.BackgroundIdleness(snap.net, snap.model, snap.background, snap.opts)
+}
+
+// backgroundSchedule returns the minimal-airtime schedule for the
+// snapshot's background, memoized through the session when one is
+// active.
+func (s *Server) backgroundSchedule(snap *snapshot) (schedule.Schedule, error) {
+	if snap.sess == nil {
+		return routing.BackgroundSchedule(snap.model, snap.background, snap.opts)
+	}
+	if len(snap.background) == 0 {
+		return schedule.Schedule{}, nil
+	}
+	ok, sched, err := snap.sess.FeasibleDemands(snap.background)
+	if err != nil {
+		return schedule.Schedule{}, fmt.Errorf("background schedule: %w", err)
+	}
+	if !ok {
+		return schedule.Schedule{}, fmt.Errorf("background not schedulable")
+	}
+	return sched, nil
+}
+
+// availability computes exact availability and estimates for the path
+// against the snapshot's background. Runs without the state mutex, so
+// slow solves never block other requests.
+func (s *Server) availability(snap *snapshot, path topology.Path) (*queryResponse, error) {
+	if s.computeHook != nil {
+		s.computeHook()
+	}
+	nodes, err := snap.net.PathNodes(path)
 	if err != nil {
 		return nil, err
 	}
@@ -427,7 +556,12 @@ func (s *Server) availabilityLocked(path topology.Path) (*queryResponse, error) 
 	for _, n := range nodes {
 		resp.PathNodes = append(resp.PathNodes, int(n))
 	}
-	res, err := core.AvailableBandwidth(s.model, background, path, s.coreOptions())
+	var res *core.Result
+	if snap.sess != nil {
+		res, err = snap.sess.AvailableBandwidth(snap.background, path)
+	} else {
+		res, err = core.AvailableBandwidth(snap.model, snap.background, path, snap.opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -435,15 +569,15 @@ func (s *Server) availabilityLocked(path topology.Path) (*queryResponse, error) 
 		resp.Feasible = true
 		resp.Bandwidth = res.Bandwidth
 	}
-	sched, err := routing.BackgroundSchedule(s.model, background, s.coreOptions())
+	sched, err := s.backgroundSchedule(snap)
 	if err != nil {
 		return nil, err
 	}
-	ps, err := estimate.PathStateFromSchedule(s.net, s.model, sched, path)
+	ps, err := estimate.PathStateFromSchedule(snap.net, snap.model, sched, path)
 	if err != nil {
 		return nil, err
 	}
-	ests, err := estimate.EstimateAll(s.model, ps)
+	ests, err := estimate.EstimateAll(snap.model, ps)
 	if err != nil {
 		return nil, err
 	}
@@ -451,6 +585,21 @@ func (s *Server) availabilityLocked(path topology.Path) (*queryResponse, error) 
 		resp.Estimates[m.String()] = v
 	}
 	return resp, nil
+}
+
+// handleStats serves the memo-cache and warm-start counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.mu.Lock()
+	cache := s.cache
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		CacheEnabled bool       `json:"cacheEnabled"`
+		Cache        memo.Stats `json:"cache"`
+	}{CacheEnabled: cache != nil, Cache: cache.Stats()})
 }
 
 func (s *Server) backgroundLocked() []core.Flow {

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParallelSlowQueriesDontBlockCheapRequests pins the snapshot
+// concurrency design: availability computation runs outside the state
+// mutex, so two in-flight slow queries must not stop a cheap request
+// (network summary, flow listing) from completing. The computeHook
+// holds both query computations at a barrier while the cheap requests
+// run.
+func TestParallelSlowQueriesDontBlockCheapRequests(t *testing.T) {
+	srv := New()
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv.computeHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(release) })
+
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/network", chainNetworkBody)
+	if code != http.StatusOK {
+		t.Fatalf("install: %d %v", code, body)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query",
+				bytes.NewBufferString(`{"src":0,"dst":4}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("slow query: %d", resp.StatusCode)
+			}
+		}()
+	}
+	// Wait until both queries are inside their (held) computation.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("slow queries never reached the compute stage")
+		}
+	}
+
+	// With both computations held, cheap requests must still finish.
+	cheap := func(method, path string) {
+		done := make(chan int, 1)
+		go func() {
+			req, _ := http.NewRequest(method, ts.URL+path, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				done <- -1
+				return
+			}
+			resp.Body.Close()
+			done <- resp.StatusCode
+		}()
+		select {
+		case code := <-done:
+			if code != http.StatusOK {
+				t.Errorf("%s %s while queries in flight: %d", method, path, code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s %s blocked behind in-flight slow queries", method, path)
+		}
+	}
+	cheap(http.MethodGet, "/v1/network")
+	cheap(http.MethodGet, "/v1/flows")
+	cheap(http.MethodGet, "/v1/stats")
+
+	release <- struct{}{}
+	release <- struct{}{}
+	wg.Wait()
+}
+
+type statsBody struct {
+	CacheEnabled bool `json:"cacheEnabled"`
+	Cache        struct {
+		Hits         int64 `json:"hits"`
+		Misses       int64 `json:"misses"`
+		Entries      int64 `json:"entries"`
+		Bytes        int64 `json:"bytes"`
+		WarmResolves int64 `json:"warmResolves"`
+		ColdPivots   int64 `json:"coldPivots"`
+		WarmPivots   int64 `json:"warmPivots"`
+		PivotsSaved  int64 `json:"pivotsSaved"`
+		Evictions    int64 `json:"evictions"`
+		Bypasses     int64 `json:"bypasses"`
+		SingleMerges int64 `json:"singleflightMerges"`
+		MaxBytes     int64 `json:"maxBytes"`
+	} `json:"cache"`
+}
+
+func getStats(t *testing.T, url string) statsBody {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var out statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStatsEndpoint checks the served counters: disabled → zeros with
+// cacheEnabled=false; enabled → queries move hits/misses and repeated
+// admissions produce warm resolves.
+func TestStatsEndpoint(t *testing.T) {
+	plain := newTestServer(t)
+	install(t, plain)
+	st := getStats(t, plain.URL)
+	if st.CacheEnabled {
+		t.Error("cacheEnabled = true on a cache-less server")
+	}
+	if st.Cache.Hits != 0 || st.Cache.Misses != 0 {
+		t.Errorf("cache-less server reports activity: %+v", st.Cache)
+	}
+
+	srv := New()
+	srv.SetCacheBytes(0) // default budget
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/network", chainNetworkBody)
+	if code != http.StatusOK {
+		t.Fatalf("install: %d %v", code, body)
+	}
+	st = getStats(t, ts.URL)
+	if !st.CacheEnabled {
+		t.Fatal("cacheEnabled = false after SetCacheBytes")
+	}
+
+	// Repeated admissions over the same chain: the second and third
+	// solves reuse the first one's set family and warm-start its LP.
+	for i := 0; i < 3; i++ {
+		code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/flows", `{"src":0,"dst":4,"demandMbps":1}`)
+		if code != http.StatusCreated || body["admitted"] != true {
+			t.Fatalf("admit %d: %d %v", i, code, body)
+		}
+	}
+	st = getStats(t, ts.URL)
+	if st.Cache.Misses == 0 {
+		t.Errorf("no cache misses recorded: %+v", st.Cache)
+	}
+	if st.Cache.Hits == 0 {
+		t.Errorf("repeated admissions never hit the set-family cache: %+v", st.Cache)
+	}
+	if st.Cache.WarmResolves == 0 {
+		t.Errorf("repeated admissions never warm-started the LP: %+v", st.Cache)
+	}
+	if st.Cache.Entries == 0 || st.Cache.Bytes == 0 {
+		t.Errorf("cache holds nothing after admissions: %+v", st.Cache)
+	}
+
+	// Method check: stats is GET-only.
+	codePost, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/stats", "{}")
+	if codePost != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/stats: %d, want 405", codePost)
+	}
+}
+
+// TestCachedServerMatchesUncached runs the same admission sequence on a
+// cached and an uncached server: every decision and reported bandwidth
+// must agree — the served form of the warm-start invariant.
+func TestCachedServerMatchesUncached(t *testing.T) {
+	plain := newTestServer(t)
+	install(t, plain)
+
+	srv := New()
+	srv.SetCacheBytes(0)
+	cached := httptest.NewServer(srv.Handler())
+	t.Cleanup(cached.Close)
+	code, body := doJSON(t, http.MethodPut, cached.URL+"/v1/network", chainNetworkBody)
+	if code != http.StatusOK {
+		t.Fatalf("install: %d %v", code, body)
+	}
+
+	requests := []string{
+		`{"src":0,"dst":4,"demandMbps":1.5}`,
+		`{"src":1,"dst":3,"demandMbps":1.0}`,
+		`{"src":0,"dst":4,"demandMbps":1.5}`,
+		`{"src":0,"dst":2,"demandMbps":1.0}`,
+		`{"src":0,"dst":4,"demandMbps":1.5}`,
+	}
+	for i, req := range requests {
+		codeP, bodyP := doJSON(t, http.MethodPost, plain.URL+"/v1/flows", req)
+		codeC, bodyC := doJSON(t, http.MethodPost, cached.URL+"/v1/flows", req)
+		if codeP != codeC {
+			t.Fatalf("request %d: status %d plain, %d cached", i, codeP, codeC)
+		}
+		if bodyP["admitted"] != bodyC["admitted"] {
+			t.Fatalf("request %d: admitted %v plain, %v cached", i, bodyP["admitted"], bodyC["admitted"])
+		}
+		availP := bodyP["availableMbps"].(float64)
+		availC := bodyC["availableMbps"].(float64)
+		if math.Abs(availP-availC) > 1e-7 {
+			t.Fatalf("request %d: available %.12g plain, %.12g cached", i, availP, availC)
+		}
+	}
+}

@@ -25,13 +25,15 @@ vet:
 lint:
 	$(GO) run ./cmd/abwlint ./...
 
-# Bounded native fuzzing of the LP solver and the netjson codec; CI
-# runs the same targets for 30s each.
+# Bounded native fuzzing of the LP solver, the netjson codec, and the
+# memo cache (key fingerprint + on-disk family format); CI runs the
+# same targets for 30s each.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzSimplex -fuzztime=$(FUZZTIME) ./internal/lp/
 	$(GO) test -run='^$$' -fuzz=FuzzNetjson -fuzztime=$(FUZZTIME) ./internal/netjson/
 	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=$(FUZZTIME) ./internal/memo/
+	$(GO) test -run='^$$' -fuzz=FuzzStoreRoundTrip -fuzztime=$(FUZZTIME) ./internal/memo/
 
 test:
 	$(GO) test ./...

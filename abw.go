@@ -145,6 +145,7 @@ type config struct {
 	workers    int
 	cacheOn    bool
 	cacheBytes int64
+	cacheDir   string
 }
 
 // WithCSRangeFactor sets the carrier-sense range as a multiple of the
@@ -168,6 +169,18 @@ func WithNoiseMarginDB(db float64) Option {
 // only changes speed, never results.
 func WithCache(maxBytes int64) Option {
 	return func(c *config) { c.cacheOn = true; c.cacheBytes = maxBytes }
+}
+
+// WithCacheDir additionally spills cached set families to dir as
+// crash-safe fingerprint-named files, so a restarted process warms up
+// instantly on an unchanged network: cache misses consult the
+// directory before enumerating, and complete families are written
+// behind the query path. It implies WithCache. Any IO problem (corrupt
+// file, full disk) silently degrades to fresh enumeration and is
+// counted in CacheStats; call Close when done with the System to flush
+// pending spills.
+func WithCacheDir(dir string) Option {
+	return func(c *config) { c.cacheOn = true; c.cacheDir = dir }
 }
 
 // WithWorkers sets the number of concurrent workers independent-set
@@ -214,9 +227,21 @@ func NewSystem(layout Layout, opts ...Option) (*System, error) {
 	sys := &System{net: net, model: conflict.NewPhysical(net), workers: cfg.workers}
 	if cfg.cacheOn {
 		sys.cache = memo.New(cfg.cacheBytes)
+		if cfg.cacheDir != "" {
+			store, err := memo.OpenStore(cfg.cacheDir, 0)
+			if err != nil {
+				return nil, fmt.Errorf("abw: %w", err)
+			}
+			sys.cache.SetStore(store)
+		}
 	}
 	return sys, nil
 }
+
+// Close flushes and releases the on-disk cache store when the system
+// was built WithCacheDir; otherwise it is a no-op. The System remains
+// usable for queries afterwards (families just stop spilling to disk).
+func (s *System) Close() error { return s.cache.Close() }
 
 // CacheStats returns the query-plan cache counters: set-family hits,
 // misses and retained bytes, plus warm-start pivot accounting. All

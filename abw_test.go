@@ -2,6 +2,8 @@ package abw
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -476,5 +478,72 @@ func TestSystemOptions(t *testing.T) {
 	if quietCap.Bandwidth < loudCap.Bandwidth-1e-9 {
 		t.Errorf("lower noise (%.4f) should not reduce capacity vs default (%.4f)",
 			quietCap.Bandwidth, loudCap.Bandwidth)
+	}
+}
+
+// TestWithCacheDirWarmRestart pins the facade contract of WithCacheDir:
+// a System spills its set families to the directory, and a second
+// System opened on the same directory answers its first query from
+// disk — no enumeration, identical bandwidth.
+func TestWithCacheDirWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	first, err := NewSystem(Line(5, 100), WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := first.PathBetween(0, 1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := first.PathCapacity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.CacheStats(); st.Misses == 0 || st.DiskMisses == 0 {
+		t.Fatalf("cold system should miss memory and disk: %+v", st)
+	}
+	if err := first.Close(); err != nil { // flushes the spill to disk
+		t.Fatal(err)
+	}
+
+	second, err := NewSystem(Line(5, 100), WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	got, err := second.PathCapacity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Bandwidth-want.Bandwidth) > 1e-12 {
+		t.Errorf("warm bandwidth %.12g, cold %.12g", got.Bandwidth, want.Bandwidth)
+	}
+	st := second.CacheStats()
+	if st.DiskHits == 0 {
+		t.Errorf("restarted system never hit the disk spill: %+v", st)
+	}
+	if st.Misses != 0 {
+		t.Errorf("restarted system re-enumerated %d families: %+v", st.Misses, st)
+	}
+}
+
+// TestWithCacheDirOpenError pins that an unusable cache directory fails
+// System construction instead of being silently ignored.
+func TestWithCacheDirOpenError(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(Line(4, 100), WithCacheDir(file)); err == nil {
+		t.Error("NewSystem accepted a file as the cache directory")
+	}
+}
+
+// TestCloseWithoutCache pins that Close is a safe no-op on systems
+// built without any cache.
+func TestCloseWithoutCache(t *testing.T) {
+	sys := lineSystem(t, 4, 100)
+	if err := sys.Close(); err != nil {
+		t.Errorf("Close on cache-less system: %v", err)
 	}
 }

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -29,31 +30,74 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-func run(args []string) int {
+// cliConfig is the parsed abwd command line.
+type cliConfig struct {
+	addr       string
+	workers    int
+	cache      bool
+	cacheBytes int64
+	cacheDir   string
+}
+
+// parseArgs parses and validates flags. -cachebytes and -cachedir
+// imply -cache (their help says so) rather than being silently
+// ignored; an explicitly empty -cachedir is a usage error.
+func parseArgs(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs := flag.NewFlagSet("abwd", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
-	addr := fs.String("addr", ":8080", "listen address")
-	workers := fs.Int("workers", 0, "enumeration workers (0 = automatic, 1 = sequential)")
-	cache := fs.Bool("cache", false, "enable the memo cache: set-family reuse, LP warm-starting, GET /v1/stats counters")
-	cacheBytes := fs.Int64("cachebytes", 0, "retained-bytes budget for cached set families (0 = default; needs -cache)")
+	fs.SetOutput(stderr)
+	cfg := &cliConfig{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "enumeration workers (0 = automatic, 1 = sequential)")
+	fs.BoolVar(&cfg.cache, "cache", false, "enable the memo cache: set-family reuse, LP warm-starting, GET /v1/stats counters")
+	fs.Int64Var(&cfg.cacheBytes, "cachebytes", 0, "retained-bytes budget for cached set families (0 = default; implies -cache)")
+	fs.StringVar(&cfg.cacheDir, "cachedir", "", "directory for the crash-safe on-disk set-family spill, so a restarted abwd warms instantly (implies -cache)")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["cachedir"] && cfg.cacheDir == "" {
+		fmt.Fprintln(stderr, "abwd: -cachedir needs a non-empty directory")
+		fs.Usage()
+		return nil, flag.ErrHelp
+	}
+	if set["cachebytes"] || set["cachedir"] {
+		cfg.cache = true
+	}
+	return cfg, nil
+}
+
+func run(args []string) int {
+	cfg, err := parseArgs(args, os.Stderr)
+	if err != nil {
 		return 2
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abwd:", err)
 		return 1
 	}
 	fmt.Printf("abwd listening on %s\n", ln.Addr())
 	s := server.New()
-	s.SetWorkers(*workers)
-	if *cache {
-		s.SetCacheBytes(*cacheBytes)
+	s.SetWorkers(cfg.workers)
+	if cfg.cache {
+		s.SetCacheBytes(cfg.cacheBytes)
+	}
+	if cfg.cacheDir != "" {
+		if err := s.SetCacheDir(cfg.cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "abwd:", err)
+			return 1
+		}
 	}
 	srv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "abwd: closing cache store:", err)
+		}
+	}()
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "abwd:", err)
 		return 1

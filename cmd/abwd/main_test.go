@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseArgsCacheImplications pins the flag-validation satellite:
+// -cachebytes and -cachedir must not be silently ignored — each implies
+// -cache — and an explicitly empty -cachedir is a usage error.
+func TestParseArgsCacheImplications(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		want    cliConfig
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			want: cliConfig{addr: ":8080"},
+		},
+		{
+			name: "plain cache",
+			args: []string{"-cache"},
+			want: cliConfig{addr: ":8080", cache: true},
+		},
+		{
+			name: "cachebytes implies cache",
+			args: []string{"-cachebytes", "4096"},
+			want: cliConfig{addr: ":8080", cache: true, cacheBytes: 4096},
+		},
+		{
+			name: "cachedir implies cache",
+			args: []string{"-cachedir", "/tmp/spill"},
+			want: cliConfig{addr: ":8080", cache: true, cacheDir: "/tmp/spill"},
+		},
+		{
+			name: "all together",
+			args: []string{"-addr", ":9999", "-workers", "2", "-cache", "-cachebytes", "1", "-cachedir", "d"},
+			want: cliConfig{addr: ":9999", workers: 2, cache: true, cacheBytes: 1, cacheDir: "d"},
+		},
+		{
+			name:    "empty cachedir is a usage error",
+			args:    []string{"-cachedir", ""},
+			wantErr: true,
+		},
+		{
+			name:    "unknown flag",
+			args:    []string{"-bogus"},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var errOut bytes.Buffer
+			cfg, err := parseArgs(tt.args, &errOut)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("parseArgs(%q) accepted, config %+v", tt.args, cfg)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseArgs(%q): %v\n%s", tt.args, err, errOut.String())
+			}
+			if *cfg != tt.want {
+				t.Errorf("parseArgs(%q) = %+v, want %+v", tt.args, *cfg, tt.want)
+			}
+		})
+	}
+}
+
+// TestParseArgsEmptyCacheDirMessage pins that the usage error names the
+// offending flag so the operator can tell it apart from a bad -addr.
+func TestParseArgsEmptyCacheDirMessage(t *testing.T) {
+	var errOut bytes.Buffer
+	if _, err := parseArgs([]string{"-cachedir", ""}, &errOut); err == nil {
+		t.Fatal("expected a usage error")
+	}
+	if !strings.Contains(errOut.String(), "cachedir") {
+		t.Errorf("usage error does not name the flag: %s", errOut.String())
+	}
+}
+
+// TestRunRejectsEmptyCacheDir pins the exit status: flag misuse is exit
+// 2, matching the flag package's own convention.
+func TestRunRejectsEmptyCacheDir(t *testing.T) {
+	if code := run([]string{"-cachedir", ""}); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

@@ -39,9 +39,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		out        = fs.String("o", "", "output JSON file (default: stdout)")
 		workers    = fs.Int("workers", 0, "enumeration workers (0 = automatic or the spec's \"workers\" field, 1 = sequential)")
 		cache      = fs.Bool("cache", false, "enable the memo cache (set-family reuse across the solve; answers are identical)")
+		cacheBytes = fs.Int64("cachebytes", 0, "retained-bytes budget for cached set families (0 = default; implies -cache)")
+		cacheDir   = fs.String("cachedir", "", "directory for the crash-safe on-disk set-family spill, reused across runs (implies -cache)")
 		cachestats = fs.Bool("cachestats", false, "print memo-cache counters to stderr (implies -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cacheBytesSet, cacheDirSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "cachebytes":
+			cacheBytesSet = true
+		case "cachedir":
+			cacheDirSet = true
+		}
+	})
+	if cacheDirSet && *cacheDir == "" {
+		fmt.Fprintln(stderr, "abwlp: -cachedir needs a non-empty directory")
+		fs.Usage()
 		return 2
 	}
 
@@ -78,8 +94,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *workers != 0 {
 		spec.Workers = *workers
 	}
-	if *cache || *cachestats {
+	// -cachebytes and -cachedir imply -cache (netjson.Solve applies the
+	// same rule to the spec fields) instead of being silently ignored.
+	if *cache || *cachestats || cacheBytesSet || cacheDirSet {
 		spec.Cache = true
+	}
+	if cacheBytesSet {
+		spec.CacheBytes = *cacheBytes
+	}
+	if cacheDirSet {
+		spec.CacheDir = *cacheDir
 	}
 	ans, err := netjson.Solve(spec)
 	if err != nil {

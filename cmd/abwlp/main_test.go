@@ -66,3 +66,65 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("unroutable query exit = %d, want 1", code)
 	}
 }
+
+// TestCacheFlagImplications pins the CLI validation satellites:
+// -cachebytes and -cachedir turn the cache on by themselves, and an
+// explicitly empty -cachedir is a usage error.
+func TestCacheFlagImplications(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-cachebytes", "1048576", "-cachestats"}, strings.NewReader(spec), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "cacheStats") {
+		t.Errorf("-cachebytes alone did not enable the cache; answer: %s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "cache:") {
+		t.Errorf("-cachestats summary missing: %s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-cachedir", ""}, strings.NewReader(spec), &out, &errOut); code != 2 {
+		t.Errorf("empty -cachedir exit = %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(errOut.String(), "cachedir") {
+		t.Errorf("usage error does not name the flag: %s", errOut.String())
+	}
+}
+
+// TestCacheDirWarmsSecondRun pins the end-to-end warm restart through
+// the CLI: two separate run() invocations (separate processes in real
+// use) share families through -cachedir, so the second answers from
+// disk without enumerating.
+func TestCacheDirWarmsSecondRun(t *testing.T) {
+	dir := t.TempDir()
+	stats := func() map[string]interface{} {
+		t.Helper()
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-cachedir", dir}, strings.NewReader(spec), &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		var ans struct {
+			CacheStats map[string]interface{} `json:"cacheStats"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &ans); err != nil {
+			t.Fatalf("output not JSON: %v\n%s", err, out.String())
+		}
+		if ans.CacheStats == nil {
+			t.Fatalf("-cachedir did not enable the cache; answer: %s", out.String())
+		}
+		return ans.CacheStats
+	}
+	cold := stats()
+	if cold["diskMisses"] == float64(0) || cold["misses"] == float64(0) {
+		t.Fatalf("cold run should enumerate and miss the disk: %v", cold)
+	}
+	warm := stats()
+	if hits, ok := warm["diskHits"].(float64); !ok || hits == 0 {
+		t.Errorf("second run never hit the spill: %v", warm)
+	}
+	if misses, ok := warm["misses"].(float64); !ok || misses != 0 {
+		t.Errorf("second run re-enumerated: %v", warm)
+	}
+}

@@ -49,9 +49,13 @@ type Options struct {
 	Workers int
 	// Cache, when non-nil, memoizes complete set families across calls
 	// keyed by (model fingerprint, universe, enumeration limit) and
-	// collects solver statistics. Safe because complete enumeration is
-	// deterministic: a cached family is byte-identical to a fresh one
-	// (DESIGN.md Sec. 8), so results do not change — only their cost.
+	// collects solver statistics. When the cache carries an on-disk
+	// store (memo.Cache.SetStore), misses additionally consult and
+	// refill the spill directory, so the memo survives process
+	// restarts. Safe because complete enumeration is deterministic: a
+	// cached family — in memory or reloaded and revalidated from disk —
+	// is byte-identical to a fresh one (DESIGN.md Sec. 8 and 11), so
+	// results do not change — only their cost.
 	Cache *memo.Cache
 }
 

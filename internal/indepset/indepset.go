@@ -234,6 +234,17 @@ func enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, 
 	return out, truncated, nil
 }
 
+// CacheKeys fills each set's cached canonical key in place — the same
+// precomputation enumeration performs while sorting its final family.
+// Families rebuilt outside enumeration (e.g. reloaded from the memo
+// disk store) call it so downstream Key() lookups stay O(1), keeping
+// reloaded families behavior-identical to freshly enumerated ones.
+func CacheKeys(sets []Set) {
+	for i := range sets {
+		sets[i].key = sets[i].Key()
+	}
+}
+
 func sortByKey(sets []Set) {
 	for i := range sets {
 		sets[i].key = sets[i].Key()

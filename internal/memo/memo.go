@@ -50,6 +50,13 @@ const DefaultMaxBytes = 64 << 20
 type Cache struct {
 	maxBytes int64
 
+	// store, when non-nil, is the on-disk spill (store.go): misses
+	// consult it before enumerating, complete families are written
+	// behind the query path. Attach with SetStore before first use; a
+	// store must back exactly one cache or the disk counters stop
+	// reconciling.
+	store *Store
+
 	mu       sync.Mutex
 	entries  map[string]*list.Element // key -> *entry element
 	ll       *list.List               // front = most recently used
@@ -58,7 +65,11 @@ type Cache struct {
 
 	// Counters. Every access goes through sync/atomic (the
 	// abw/atomicfield lint rule enforces it): Stats() must be callable
-	// concurrently with enumerations without taking mu.
+	// concurrently with enumerations without taking mu. Exception:
+	// evictions only changes under mu (insertLocked), so Stats loads it
+	// inside the same critical section as entries/bytes — the three
+	// describe one shape and must tear together or not at all.
+	lookups      int64
 	hits         int64
 	misses       int64
 	bypasses     int64
@@ -69,6 +80,11 @@ type Cache struct {
 	warmResolves int64
 	pivotsSaved  int64
 }
+
+// enumerateFn is the enumeration the cache falls back to on a miss.
+// Tests swap it to inject errors and to hold flights open
+// deterministically; production always points at the real walk.
+var enumerateFn = indepset.EnumeratePartial
 
 type entry struct {
 	key  string
@@ -96,6 +112,44 @@ func New(maxBytes int64) *Cache {
 		ll:       list.New(),
 		inflight: make(map[string]*flight),
 	}
+}
+
+// SetStore attaches the on-disk spill: misses consult it before
+// enumerating and complete families are written behind the query path.
+// Attach before the cache is shared between goroutines; a store must
+// back exactly one cache. Nil-safe on both sides.
+func (c *Cache) SetStore(s *Store) {
+	if c == nil {
+		return
+	}
+	c.store = s
+}
+
+// DiskStore returns the attached on-disk spill, or nil.
+func (c *Cache) DiskStore() *Store {
+	if c == nil {
+		return nil
+	}
+	return c.store
+}
+
+// FlushStore blocks until every family enqueued for spilling so far is
+// on disk (or dropped). No-op without a store; nil-safe.
+func (c *Cache) FlushStore() {
+	if c == nil {
+		return
+	}
+	c.store.Flush()
+}
+
+// Close flushes and releases the attached on-disk store; the in-memory
+// cache keeps working (further spills are dropped and counted).
+// Nil-safe and idempotent.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	return c.store.Close()
 }
 
 // Key derives the canonical cache key for an enumeration of links under
@@ -168,14 +222,25 @@ func (c *Cache) EnumeratePartial(m conflict.Model, links []topology.LinkID, opts
 	return c.enumerate(m, links, opts)
 }
 
+// enumerate is the one lookup path. Counter identity, asserted by the
+// tests on every path including errors and truncation:
+//
+//	Lookups == Hits + DiskHits + Misses + Bypasses + SingleflightMerges
+//
+// Every lookup on a non-nil cache increments Lookups exactly once and
+// exactly one of the right-hand counters: a memory hit, a disk hit
+// (the leader found the family spilled on disk), a miss (the leader
+// really walked — successfully or not), a bypass (unkeyable model), or
+// a merge (joined another goroutine's flight, whatever its outcome).
 func (c *Cache) enumerate(m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
 	if c == nil {
-		return indepset.EnumeratePartial(m, links, opts)
+		return enumerateFn(m, links, opts)
 	}
+	atomic.AddInt64(&c.lookups, 1)
 	key, ok := Key(m, links, opts)
 	if !ok {
 		atomic.AddInt64(&c.bypasses, 1)
-		return indepset.EnumeratePartial(m, links, opts)
+		return enumerateFn(m, links, opts)
 	}
 
 	c.mu.Lock()
@@ -199,8 +264,21 @@ func (c *Cache) enumerate(m conflict.Model, links []topology.LinkID, opts indeps
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
+	// Leader: consult the disk spill before paying for a walk. load is
+	// nil-safe and never errors — a bad file degrades to a fresh
+	// enumeration with DiskErrors counted (store.go).
+	if sets, ok := c.store.load(key); ok {
+		fl.sets = sets
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.insertLocked(key, sets)
+		c.mu.Unlock()
+		close(fl.done)
+		return copyFamily(sets), false, nil
+	}
+
 	atomic.AddInt64(&c.misses, 1)
-	fl.sets, fl.truncated, fl.err = indepset.EnumeratePartial(m, links, opts)
+	fl.sets, fl.truncated, fl.err = enumerateFn(m, links, opts)
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -209,6 +287,12 @@ func (c *Cache) enumerate(m conflict.Model, links []topology.LinkID, opts indeps
 	}
 	c.mu.Unlock()
 	close(fl.done)
+
+	if fl.err == nil && !fl.truncated {
+		// Write-behind: spill the family off the query path. Only
+		// complete families reach disk, mirroring the memory rule.
+		c.store.enqueue(key, fl.sets)
+	}
 
 	if fl.err != nil {
 		return nil, false, fl.err
@@ -285,7 +369,11 @@ func (c *Cache) AddSolvePivots(warm bool, pivots, saved int) {
 // Stats is a point-in-time snapshot of the cache counters, shaped for
 // the abwd GET /stats endpoint and the -cachestats CLI flags.
 type Stats struct {
-	// Hits counts lookups answered from a stored family.
+	// Lookups counts every cache lookup. The counters below reconcile
+	// exactly on every path, including errors and truncation:
+	// Lookups == Hits + DiskHits + Misses + Bypasses + SingleflightMerges.
+	Lookups int64 `json:"lookups"`
+	// Hits counts lookups answered from a family retained in memory.
 	Hits int64 `json:"hits"`
 	// Misses counts enumerations this cache had to run.
 	Misses int64 `json:"misses"`
@@ -301,6 +389,16 @@ type Stats struct {
 	Bytes   int64 `json:"bytes"`
 	// MaxBytes is the configured retention budget.
 	MaxBytes int64 `json:"maxBytes"`
+	// DiskHits/DiskMisses count lookups the on-disk store answered or
+	// could not answer; DiskErrors counts store IO failures of every
+	// kind (corrupt/stale/alien files, failed or dropped writes) — all
+	// degraded to fresh enumeration, none surfaced to a query.
+	// DiskBytes is the bytes currently spilled. All zero without a
+	// store.
+	DiskHits   int64 `json:"diskHits"`
+	DiskMisses int64 `json:"diskMisses"`
+	DiskErrors int64 `json:"diskErrors"`
+	DiskBytes  int64 `json:"diskBytes"`
 	// ColdPivots and WarmPivots count simplex pivots spent by cold
 	// solves and warm re-solves in the LP warm-start layer;
 	// WarmResolves counts the re-solves. PivotsSaved estimates pivots
@@ -318,19 +416,31 @@ func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
+	// All cache-shape fields — entries, their bytes, and the evictions
+	// that shaped them (evictions only changes under mu) — are read in
+	// ONE critical section: a poll racing an insert must never see the
+	// new entry counted without its bytes, or an eviction without its
+	// byte decrement.
 	c.mu.Lock()
 	entries := len(c.entries)
 	bytes := c.bytes
+	evictions := atomic.LoadInt64(&c.evictions)
 	c.mu.Unlock()
+	diskHits, diskMisses, diskErrors, diskBytes := c.store.statsSnapshot()
 	return Stats{
+		Lookups:            atomic.LoadInt64(&c.lookups),
 		Hits:               atomic.LoadInt64(&c.hits),
 		Misses:             atomic.LoadInt64(&c.misses),
 		Bypasses:           atomic.LoadInt64(&c.bypasses),
-		Evictions:          atomic.LoadInt64(&c.evictions),
+		Evictions:          evictions,
 		SingleflightMerges: atomic.LoadInt64(&c.merges),
 		Entries:            entries,
 		Bytes:              bytes,
 		MaxBytes:           c.maxBytes,
+		DiskHits:           diskHits,
+		DiskMisses:         diskMisses,
+		DiskErrors:         diskErrors,
+		DiskBytes:          diskBytes,
 		ColdPivots:         atomic.LoadInt64(&c.coldPivots),
 		WarmPivots:         atomic.LoadInt64(&c.warmPivots),
 		WarmResolves:       atomic.LoadInt64(&c.warmResolves),

@@ -56,6 +56,14 @@ type Spec struct {
 	// schedule and estimates, and the answer reports the counters. The
 	// numbers are identical either way.
 	Cache bool `json:"cache,omitempty"`
+	// CacheBytes bounds the bytes retained for cached set families
+	// (0 = memo.DefaultMaxBytes). Setting it implies Cache.
+	CacheBytes int64 `json:"cacheBytes,omitempty"`
+	// CacheDir, when set, spills enumerated families to this directory
+	// (crash-safe fingerprint-named files) and consults it before
+	// enumerating, so repeated solves of the same network skip the
+	// walk entirely across processes. Implies Cache.
+	CacheDir string `json:"cacheDir,omitempty"`
 
 	// cache is the per-solve memo instance when Cache is set.
 	cache *memo.Cache
@@ -167,8 +175,18 @@ func (s *Spec) queryPath(net *topology.Network, m conflict.Model, background []c
 // Solve answers the spec: exact available bandwidth (Eq. 6), the
 // delivering schedule, and all five distributed estimates.
 func Solve(s *Spec) (*Answer, error) {
+	if s.CacheBytes != 0 || s.CacheDir != "" {
+		s.Cache = true
+	}
 	if s.Cache && s.cache == nil {
-		s.cache = memo.New(0)
+		s.cache = memo.New(s.CacheBytes)
+		if s.CacheDir != "" {
+			store, err := memo.OpenStore(s.CacheDir, 0)
+			if err != nil {
+				return nil, fmt.Errorf("netjson: %w", err)
+			}
+			s.cache.SetStore(store)
+		}
 	}
 	net, err := s.BuildNetwork()
 	if err != nil {
@@ -197,10 +215,7 @@ func Solve(s *Spec) (*Answer, error) {
 	}
 	if res.Status != lp.Optimal {
 		// Infeasible background: Feasible stays false.
-		if s.cache != nil {
-			st := s.cache.Stats()
-			ans.CacheStats = &st
-		}
+		ans.CacheStats = s.cacheStats()
 		return ans, nil
 	}
 	ans.Feasible = true
@@ -229,11 +244,20 @@ func Solve(s *Spec) (*Answer, error) {
 	for metric, v := range ests {
 		ans.Estimates[metric.String()] = v
 	}
-	if s.cache != nil {
-		st := s.cache.Stats()
-		ans.CacheStats = &st
-	}
+	ans.CacheStats = s.cacheStats()
 	return ans, nil
+}
+
+// cacheStats flushes pending disk spills (so a one-shot process exits
+// with its families durably written and the counters reflect them) and
+// snapshots the counters; nil when the solve ran uncached.
+func (s *Spec) cacheStats() *memo.Stats {
+	if s.cache == nil {
+		return nil
+	}
+	s.cache.FlushStore()
+	st := s.cache.Stats()
+	return &st
 }
 
 // WriteAnswer encodes the answer as indented JSON.

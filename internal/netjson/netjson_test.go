@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -156,5 +158,83 @@ func TestCSRangeFactorOverride(t *testing.T) {
 	}
 	if got := net.Profile().CSRange(); math.Abs(got-3*158) > 1e-9 {
 		t.Errorf("CSRange = %g, want %g", got, 3*158.0)
+	}
+}
+
+// TestCacheBytesImpliesCache pins the spec-level flag implication: a
+// byte budget (or a spill directory) turns the cache on even when the
+// "cache" field is absent, so the answer carries counters.
+func TestCacheBytesImpliesCache(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(chainSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.CacheBytes = 1 << 20
+	ans, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.CacheStats == nil {
+		t.Fatal("cacheBytes alone should enable the cache and its stats")
+	}
+	if ans.CacheStats.Misses == 0 {
+		t.Errorf("cache never engaged: %+v", ans.CacheStats)
+	}
+}
+
+// TestCacheDirWarmsAcrossSpecs pins the on-disk spill end to end at the
+// netjson layer: one spec populates the directory, a freshly parsed
+// spec (a new in-memory cache, as a new process would have) answers
+// from disk with zero enumerations and the identical bandwidth.
+func TestCacheDirWarmsAcrossSpecs(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := ParseSpec(strings.NewReader(chainSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.CacheDir = dir
+	want, err := Solve(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.CacheStats == nil || want.CacheStats.DiskMisses == 0 {
+		t.Fatalf("cold solve should record disk misses: %+v", want.CacheStats)
+	}
+
+	warm, err := ParseSpec(strings.NewReader(chainSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.CacheDir = dir
+	got, err := Solve(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Bandwidth-want.Bandwidth) > 1e-12 {
+		t.Errorf("warm bandwidth %.12g, cold %.12g", got.Bandwidth, want.Bandwidth)
+	}
+	st := got.CacheStats
+	if st == nil || st.DiskHits == 0 {
+		t.Fatalf("warm solve never hit the spill: %+v", st)
+	}
+	if st.Misses != 0 {
+		t.Errorf("warm solve re-enumerated %d families: %+v", st.Misses, st)
+	}
+}
+
+// TestCacheDirOpenErrorSurfaces pins that an unusable spill directory
+// fails the solve up front rather than being silently dropped.
+func TestCacheDirOpenErrorSurfaces(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(strings.NewReader(chainSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.CacheDir = file
+	if _, err := Solve(spec); err == nil {
+		t.Error("Solve accepted a file as the cache directory")
 	}
 }

@@ -124,24 +124,61 @@ func (s *Server) SetWorkers(n int) { s.workers = n }
 // SetCacheBytes enables the memo cache — set-family memoization, LP
 // warm-starting across queries, and the /v1/stats counters — with the
 // given retained-bytes budget (0 picks memo.DefaultMaxBytes; negative
-// disables caching). Call before serving requests.
+// disables caching). An on-disk store attached by a prior SetCacheDir
+// carries over to the new cache (and is closed when caching is
+// disabled). Call before serving requests.
 func (s *Server) SetCacheBytes(n int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	store := s.cache.DiskStore()
 	if n < 0 {
+		_ = store.Close()
 		s.cache = nil
 		s.sess = nil
 		return
 	}
 	s.cache = memo.New(n)
+	s.cache.SetStore(store)
 	if s.model != nil {
 		s.sess = core.NewSession(s.model, s.coreOptions())
 	}
 }
 
+// SetCacheDir attaches a crash-safe on-disk spill of the set-family
+// cache rooted at dir, enabling the cache (with the default byte
+// budget) if it is not already on: a restarted daemon pointed at the
+// same directory answers its first enumerations from disk instead of
+// re-walking an unchanged network. Call before serving requests.
+func (s *Server) SetCacheDir(dir string) error {
+	store, err := memo.OpenStore(dir, 0)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		s.cache = memo.New(0)
+		if s.model != nil {
+			s.sess = core.NewSession(s.model, s.coreOptions())
+		}
+	}
+	s.cache.SetStore(store)
+	return nil
+}
+
 // CacheStats returns the memo-cache counters (zero when caching is
 // disabled).
 func (s *Server) CacheStats() memo.Stats { return s.cache.Stats() }
+
+// Close flushes and closes the cache's on-disk store, if any, so every
+// family enumerated so far survives to warm the next process. The
+// server keeps answering requests afterwards; only the spill stops.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	cache := s.cache
+	s.mu.Unlock()
+	return cache.Close()
+}
 
 // Handler returns the HTTP handler for the API.
 func (s *Server) Handler() http.Handler {

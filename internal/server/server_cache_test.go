@@ -111,6 +111,11 @@ type statsBody struct {
 		Bypasses     int64 `json:"bypasses"`
 		SingleMerges int64 `json:"singleflightMerges"`
 		MaxBytes     int64 `json:"maxBytes"`
+		Lookups      int64 `json:"lookups"`
+		DiskHits     int64 `json:"diskHits"`
+		DiskMisses   int64 `json:"diskMisses"`
+		DiskErrors   int64 `json:"diskErrors"`
+		DiskBytes    int64 `json:"diskBytes"`
 	} `json:"cache"`
 }
 
@@ -224,5 +229,85 @@ func TestCachedServerMatchesUncached(t *testing.T) {
 		if math.Abs(availP-availC) > 1e-7 {
 			t.Fatalf("request %d: available %.12g plain, %.12g cached", i, availP, availC)
 		}
+	}
+}
+
+// TestSetCacheDirWarmsRestartedServer pins the daemon restart story: a
+// server with an attached cache directory spills what it enumerates,
+// and a second server pointed at the same directory (a restarted abwd)
+// serves its first query from disk with zero enumerations and the
+// identical answer.
+func TestSetCacheDirWarmsRestartedServer(t *testing.T) {
+	dir := t.TempDir()
+	query := `{"src":0,"dst":4}`
+
+	boot := func() (*Server, *httptest.Server) {
+		srv := New()
+		if err := srv.SetCacheDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/network", chainNetworkBody)
+		if code != http.StatusOK {
+			t.Fatalf("install: %d %v", code, body)
+		}
+		return srv, ts
+	}
+
+	srv1, ts1 := boot()
+	code, cold := doJSON(t, http.MethodPost, ts1.URL+"/v1/query", query)
+	if code != http.StatusOK {
+		t.Fatalf("cold query: %d %v", code, cold)
+	}
+	st := getStats(t, ts1.URL)
+	if st.Cache.Misses == 0 || st.Cache.DiskMisses == 0 {
+		t.Fatalf("cold server should enumerate and miss the disk: %+v", st.Cache)
+	}
+	if err := srv1.Close(); err != nil { // flush the spill, as abwd does on shutdown
+		t.Fatal(err)
+	}
+
+	_, ts2 := boot()
+	code, warm := doJSON(t, http.MethodPost, ts2.URL+"/v1/query", query)
+	if code != http.StatusOK {
+		t.Fatalf("warm query: %d %v", code, warm)
+	}
+	if math.Abs(warm["bandwidthMbps"].(float64)-cold["bandwidthMbps"].(float64)) > 1e-12 {
+		t.Errorf("warm answer %v differs from cold %v", warm["bandwidthMbps"], cold["bandwidthMbps"])
+	}
+	st = getStats(t, ts2.URL)
+	if st.Cache.DiskHits == 0 {
+		t.Errorf("restarted server never hit the spill: %+v", st.Cache)
+	}
+	if st.Cache.Misses != 0 {
+		t.Errorf("restarted server re-enumerated %d families: %+v", st.Cache.Misses, st.Cache)
+	}
+	if st.Cache.DiskBytes == 0 {
+		t.Errorf("stats hide the on-disk footprint: %+v", st.Cache)
+	}
+}
+
+// TestSetCacheBytesCarriesStoreOver pins that resizing the budget after
+// attaching a directory keeps the spill: the store survives the cache
+// rebuild, so disk counters keep moving.
+func TestSetCacheBytesCarriesStoreOver(t *testing.T) {
+	srv := New()
+	if err := srv.SetCacheDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetCacheBytes(1 << 20) // rebuilds the cache; must keep the store
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/network", chainNetworkBody)
+	if code != http.StatusOK {
+		t.Fatalf("install: %d %v", code, body)
+	}
+	if code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/query", `{"src":0,"dst":4}`); code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, body)
+	}
+	st := getStats(t, ts.URL)
+	if st.Cache.DiskMisses == 0 {
+		t.Errorf("store detached by SetCacheBytes: %+v", st.Cache)
 	}
 }

@@ -6,7 +6,7 @@ TIER1_BENCH = ^(BenchmarkAvailableBandwidthQuery|BenchmarkEnumerateScenarioII|Be
 BENCH_COUNT ?= 5
 BENCH_JSON ?= BENCH_$(shell date -u +%Y-%m-%d).json
 
-.PHONY: all build test vet lint fuzz race bench bench-smoke bench-json bench-gate golden check
+.PHONY: all build test vet lint fuzz race bench bench-smoke bench-json bench-gate golden check e2e cover cover-gate
 
 all: check
 
@@ -72,6 +72,31 @@ bench-gate:
 # the result against the tree to catch silent output drift.
 golden:
 	$(GO) test -run TestGoldenTables ./internal/experiments/ -update
+
+# End-to-end daemon exercise: build abwd, boot it on a chain scenario
+# with a cache spill and a query deadline, drive the HTTP API with
+# curl, SIGTERM it, and assert a clean drain with a flushed cache dir.
+e2e:
+	./scripts/e2e.sh
+
+# Statement coverage over every package, and the committed floor the
+# cover-gate enforces. Raise the floor when coverage durably improves;
+# never lower it to merge.
+COVER_PROFILE ?= /tmp/abw-cover.out
+COVER_FLOOR ?= 80.0
+
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
+	@$(GO) tool cover -func=$(COVER_PROFILE) | tail -1
+
+cover-gate: cover
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	echo "cover-gate: total $$total% (floor $(COVER_FLOOR)%)"; \
+	ok=$$(awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { print (t + 0 >= f + 0) ? "yes" : "no" }'); \
+	if [ "$$ok" != yes ]; then \
+		echo "cover-gate: coverage $$total% fell below the committed floor $(COVER_FLOOR)%" >&2; \
+		exit 1; \
+	fi
 
 # The gate run in CI: vet + lint + build + race tests + benchmark smoke.
 check: vet lint build race bench-smoke

@@ -29,9 +29,11 @@
 package abw
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"abw/internal/cancel"
 	"abw/internal/conflict"
 	"abw/internal/core"
 	"abw/internal/dv"
@@ -251,6 +253,15 @@ func (s *System) CacheStats() CacheStats { return s.cache.Stats() }
 // CacheStats is the counter snapshot the memo cache exposes.
 type CacheStats = memo.Stats
 
+// ErrCanceled reports a computation stopped by context cancellation or
+// deadline expiry. Errors from the *Context entry points satisfy
+// errors.Is(err, ErrCanceled) when the context fired, and additionally
+// errors.Is(err, context.DeadlineExceeded) when a deadline caused it.
+// Canceled computations never store partial results in the cache or on
+// disk; an uncancelled run returns byte-identical results with or
+// without a context.
+var ErrCanceled = cancel.ErrCanceled
+
 // Network returns the underlying topology for advanced use.
 func (s *System) Network() *topology.Network { return s.net }
 
@@ -285,7 +296,15 @@ type Result struct {
 // given background flows, assuming globally optimal link scheduling
 // (the paper's Eq. 6 model).
 func (s *System) AvailableBandwidth(background []Flow, path Path) (*Result, error) {
-	res, err := core.AvailableBandwidth(s.model, background, path, s.coreOptions())
+	return s.AvailableBandwidthContext(context.Background(), background, path)
+}
+
+// AvailableBandwidthContext is AvailableBandwidth under a context:
+// enumeration workers and LP pivots poll ctx, so cancellation (or a
+// deadline) stops the computation promptly with an error satisfying
+// errors.Is(err, ErrCanceled).
+func (s *System) AvailableBandwidthContext(ctx context.Context, background []Flow, path Path) (*Result, error) {
+	res, err := core.AvailableBandwidthContext(ctx, s.model, background, path, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -335,7 +354,15 @@ type (
 // available bandwidth covers the demand. With stopAtFirstFailure the
 // run ends at the first rejection, as in the paper.
 func (s *System) Admit(metric RouteMetric, requests []Request, stopAtFirstFailure bool) ([]Decision, error) {
-	return routing.SequentialAdmission(s.net, s.model, metric, requests,
+	return s.AdmitContext(context.Background(), metric, requests, stopAtFirstFailure)
+}
+
+// AdmitContext is Admit under a context: ctx is checked between
+// admission steps and inside each step's enumeration and LPs, so a
+// canceled run stops promptly, returning the decisions completed so far
+// alongside an error satisfying errors.Is(err, ErrCanceled).
+func (s *System) AdmitContext(ctx context.Context, metric RouteMetric, requests []Request, stopAtFirstFailure bool) ([]Decision, error) {
+	return routing.SequentialAdmissionContext(ctx, s.net, s.model, metric, requests,
 		routing.AdmissionOptions{StopAtFirstFailure: stopAtFirstFailure, Core: s.coreOptions()})
 }
 

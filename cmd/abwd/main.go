@@ -12,15 +12,25 @@
 //	curl -X POST -d '{"src":2,"dst":8,"demandMbps":2}' localhost:8080/v1/flows
 //	curl localhost:8080/v1/flows
 //	curl -X DELETE localhost:8080/v1/flows/1
+//
+// abwd shuts down gracefully on SIGINT or SIGTERM: the listener stops
+// accepting, in-flight requests get drainTimeout to finish (their
+// contexts are canceled past that), and the cache's on-disk spill is
+// flushed and closed before the process exits — so every set family
+// enumerated during the run survives to warm the next one. A second
+// signal during the drain kills the process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"abw/internal/server"
@@ -30,18 +40,25 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// drainTimeout bounds graceful shutdown: how long in-flight requests
+// get to finish after SIGINT/SIGTERM before their connections are
+// closed forcibly.
+const drainTimeout = 10 * time.Second
+
 // cliConfig is the parsed abwd command line.
 type cliConfig struct {
-	addr       string
-	workers    int
-	cache      bool
-	cacheBytes int64
-	cacheDir   string
+	addr         string
+	workers      int
+	cache        bool
+	cacheBytes   int64
+	cacheDir     string
+	queryTimeout time.Duration
 }
 
 // parseArgs parses and validates flags. -cachebytes and -cachedir
 // imply -cache (their help says so) rather than being silently
-// ignored; an explicitly empty -cachedir is a usage error.
+// ignored; an explicitly empty -cachedir and a negative -querytimeout
+// are usage errors.
 func parseArgs(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs := flag.NewFlagSet("abwd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -51,6 +68,7 @@ func parseArgs(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.BoolVar(&cfg.cache, "cache", false, "enable the memo cache: set-family reuse, LP warm-starting, GET /v1/stats counters")
 	fs.Int64Var(&cfg.cacheBytes, "cachebytes", 0, "retained-bytes budget for cached set families (0 = default; implies -cache)")
 	fs.StringVar(&cfg.cacheDir, "cachedir", "", "directory for the crash-safe on-disk set-family spill, so a restarted abwd warms instantly (implies -cache)")
+	fs.DurationVar(&cfg.queryTimeout, "querytimeout", 0, "per-request computation deadline, e.g. 500ms or 2s (0 = unbounded); requests past it answer 504")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -58,6 +76,11 @@ func parseArgs(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["cachedir"] && cfg.cacheDir == "" {
 		fmt.Fprintln(stderr, "abwd: -cachedir needs a non-empty directory")
+		fs.Usage()
+		return nil, flag.ErrHelp
+	}
+	if cfg.queryTimeout < 0 {
+		fmt.Fprintln(stderr, "abwd: -querytimeout must be non-negative")
 		fs.Usage()
 		return nil, flag.ErrHelp
 	}
@@ -80,6 +103,7 @@ func run(args []string) int {
 	fmt.Printf("abwd listening on %s\n", ln.Addr())
 	s := server.New()
 	s.SetWorkers(cfg.workers)
+	s.SetQueryTimeout(cfg.queryTimeout)
 	if cfg.cache {
 		s.SetCacheBytes(cfg.cacheBytes)
 	}
@@ -93,14 +117,38 @@ func run(args []string) int {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	defer func() {
-		if err := s.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "abwd: closing cache store:", err)
+
+	// Shutdown ordering: stop accepting and drain in-flight requests
+	// first (srv.Shutdown), THEN flush and close the cache spill — a
+	// request finishing during the drain may still enqueue families,
+	// and flushing before the drain would lose them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	exit := 0
+	select {
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "abwd:", err)
+			exit = 1
 		}
-	}()
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "abwd:", err)
-		return 1
+	case <-ctx.Done():
+		stop() // a second signal now kills immediately (default handling)
+		fmt.Println("abwd: signal received, draining")
+		shCtx, cancelSh := context.WithTimeout(context.Background(), drainTimeout)
+		if err := srv.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "abwd: drain:", err)
+			exit = 1
+		}
+		cancelSh()
+		<-serveErr // Serve has returned http.ErrServerClosed
 	}
-	return 0
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "abwd: closing cache store:", err)
+		exit = 1
+	}
+	return exit
 }

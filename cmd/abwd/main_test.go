@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestParseArgsCacheImplications pins the flag-validation satellite:
@@ -42,8 +43,28 @@ func TestParseArgsCacheImplications(t *testing.T) {
 			want: cliConfig{addr: ":9999", workers: 2, cache: true, cacheBytes: 1, cacheDir: "d"},
 		},
 		{
+			name: "querytimeout duration",
+			args: []string{"-querytimeout", "500ms"},
+			want: cliConfig{addr: ":8080", queryTimeout: 500 * time.Millisecond},
+		},
+		{
+			name: "querytimeout zero means unbounded",
+			args: []string{"-querytimeout", "0"},
+			want: cliConfig{addr: ":8080"},
+		},
+		{
 			name:    "empty cachedir is a usage error",
 			args:    []string{"-cachedir", ""},
+			wantErr: true,
+		},
+		{
+			name:    "negative querytimeout is a usage error",
+			args:    []string{"-querytimeout", "-1s"},
+			wantErr: true,
+		},
+		{
+			name:    "malformed querytimeout is a usage error",
+			args:    []string{"-querytimeout", "fast"},
 			wantErr: true,
 		},
 		{
@@ -89,5 +110,25 @@ func TestParseArgsEmptyCacheDirMessage(t *testing.T) {
 func TestRunRejectsEmptyCacheDir(t *testing.T) {
 	if code := run([]string{"-cachedir", ""}); code != 2 {
 		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+// TestRunRejectsNegativeQueryTimeout pins the same convention for the
+// deadline flag: a negative -querytimeout is flag misuse, exit 2.
+func TestRunRejectsNegativeQueryTimeout(t *testing.T) {
+	if code := run([]string{"-querytimeout", "-5s"}); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+// TestParseArgsNegativeQueryTimeoutMessage pins that the usage error
+// names the offending flag.
+func TestParseArgsNegativeQueryTimeoutMessage(t *testing.T) {
+	var errOut bytes.Buffer
+	if _, err := parseArgs([]string{"-querytimeout", "-1ms"}, &errOut); err == nil {
+		t.Fatal("expected a usage error")
+	}
+	if !strings.Contains(errOut.String(), "querytimeout") {
+		t.Errorf("usage error does not name the flag: %s", errOut.String())
 	}
 }

@@ -1,0 +1,90 @@
+// Package cancel is the leaf package behind the tree's cooperative
+// cancellation: a typed ErrCanceled that every layer (enumeration DFS,
+// simplex pivots, memo singleflight, server handlers) maps context
+// cancellation onto, and a countdown Checker that makes periodic
+// ctx.Err() polling cheap enough for DFS and pivot hot loops.
+//
+// The contract every long-running loop follows:
+//
+//   - A run whose context is never cancelled behaves byte-identically
+//     to a run with no context at all (the nil-Checker fast path is a
+//     single pointer comparison, so uncancellable loops pay nothing).
+//   - A cancelled run returns an error satisfying
+//     errors.Is(err, ErrCanceled) promptly — within one check interval
+//     of the cancellation point.
+//   - Cancelled results are partial garbage: callers must never store,
+//     spill, or memoize them (DESIGN.md Sec. 12 pins the rule).
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that a computation was abandoned because its
+// context was cancelled. It is distinct from truncation errors like
+// indepset.ErrLimit: a truncated family is a sound partial result, a
+// cancelled one is not a result at all.
+var ErrCanceled = errors.New("abw: computation canceled")
+
+// Cause wraps the context's cancellation cause in ErrCanceled so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.DeadlineExceeded)
+// (or context.Canceled) hold on the returned error — the server maps
+// the former to a canceled response and the latter to 504.
+func Cause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, cause)
+	}
+	return ErrCanceled
+}
+
+// DefaultInterval is the countdown used when a Checker is created with
+// a non-positive interval: one real channel poll per 256 Check calls.
+const DefaultInterval = 256
+
+// Checker amortizes context polling over a hot loop. Check decrements
+// a countdown and only consults ctx.Done() when it hits zero, so the
+// fast path is one decrement and one branch. A nil *Checker is valid
+// and never reports cancellation — NewChecker returns nil for contexts
+// that can never be cancelled, keeping context-free runs branch-light.
+type Checker struct {
+	done  <-chan struct{}
+	ctx   context.Context
+	n     int
+	every int
+}
+
+// NewChecker returns a Checker polling ctx every `every` Check calls
+// (DefaultInterval when every <= 0), or nil when ctx can never be
+// cancelled (nil context or nil Done channel). The first Check on a
+// non-nil Checker is a real poll, so a loop entered with an
+// already-cancelled context stops before doing any work.
+func NewChecker(ctx context.Context, every int) *Checker {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = DefaultInterval
+	}
+	return &Checker{done: ctx.Done(), ctx: ctx, n: 1, every: every}
+}
+
+// Check returns Cause(ctx) if the context has been cancelled, polling
+// the Done channel once per interval. On a nil receiver it returns nil.
+func (c *Checker) Check() error {
+	if c == nil {
+		return nil
+	}
+	c.n--
+	if c.n > 0 {
+		return nil
+	}
+	c.n = c.every
+	select {
+	case <-c.done:
+		return Cause(c.ctx)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,72 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilCheckerNeverCancels(t *testing.T) {
+	var c *Checker
+	for i := 0; i < 10*DefaultInterval; i++ {
+		if err := c.Check(); err != nil {
+			t.Fatalf("nil checker reported cancellation: %v", err)
+		}
+	}
+}
+
+func TestNewCheckerUncancellableContext(t *testing.T) {
+	if c := NewChecker(context.Background(), 8); c != nil {
+		t.Fatal("NewChecker(Background) should be nil: Done() is nil")
+	}
+}
+
+func TestCheckerFirstCheckIsReal(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	c := NewChecker(ctx, 1000)
+	if err := c.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("first Check on canceled ctx = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCheckerInterval(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	c := NewChecker(ctx, 4)
+	// First check is real; context still live.
+	if err := c.Check(); err != nil {
+		t.Fatalf("live ctx Check = %v", err)
+	}
+	cancelFn()
+	// The next real poll happens within one interval.
+	var got error
+	for i := 0; i < 4; i++ {
+		if got = c.Check(); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, ErrCanceled) {
+		t.Fatalf("cancellation not observed within one interval: %v", got)
+	}
+}
+
+func TestCauseWrapsContextCause(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	err := Cause(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Cause = %v, want ErrCanceled in chain", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Cause = %v, want context.Canceled in chain", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer dcancel()
+	<-dctx.Done()
+	derr := Cause(dctx)
+	if !errors.Is(derr, ErrCanceled) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Fatalf("deadline Cause = %v, want ErrCanceled and DeadlineExceeded", derr)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -91,7 +92,13 @@ func MaxCliqueLoadFactor(m conflict.Model, assignment []conflict.Couple, through
 // itself notes Omega <= Z^L and defers sparser enumerations to future
 // work (see RestrictedUpperBoundLP for that heuristic).
 func UpperBoundLP(m conflict.Model, background []Flow, newPath topology.Path, opts Options) (*Result, error) {
-	return upperBoundOverVectors(m, background, newPath, nil, opts)
+	return upperBoundOverVectors(context.Background(), m, background, newPath, nil, opts)
+}
+
+// UpperBoundLPContext is UpperBoundLP under a context: the Eq. 9
+// simplex polls ctx between pivots; see AvailableBandwidthContext.
+func UpperBoundLPContext(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, opts Options) (*Result, error) {
+	return upperBoundOverVectors(ctx, m, background, newPath, nil, opts)
 }
 
 // RestrictedUpperBoundLP is the paper's proposed future-work heuristic:
@@ -107,10 +114,10 @@ func RestrictedUpperBoundLP(m conflict.Model, background []Flow, newPath topolog
 	if len(vectors) == 0 {
 		return nil, fmt.Errorf("core: no rate vectors supplied")
 	}
-	return upperBoundOverVectors(m, background, newPath, vectors, opts)
+	return upperBoundOverVectors(context.Background(), m, background, newPath, vectors, opts)
 }
 
-func upperBoundOverVectors(m conflict.Model, background []Flow, newPath topology.Path, vectors [][]conflict.Couple, opts Options) (*Result, error) {
+func upperBoundOverVectors(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, vectors [][]conflict.Couple, opts Options) (*Result, error) {
 	if len(newPath) == 0 {
 		return nil, fmt.Errorf("core: empty new path")
 	}
@@ -195,7 +202,7 @@ func upperBoundOverVectors(m conflict.Model, background []Flow, newPath topology
 		}
 	}
 
-	sol, err := prob.Solve()
+	sol, err := prob.SolveContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: solving Eq.9 LP: %w", err)
 	}

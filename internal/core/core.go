@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -65,15 +66,16 @@ func (o Options) indepOptions() indepset.Options {
 }
 
 // enumerate runs a complete maximal-set enumeration through the cache
-// when one is configured (a nil cache passes straight through).
-func (o Options) enumerate(m conflict.Model, universe []topology.LinkID) ([]indepset.Set, error) {
-	return o.Cache.Enumerate(m, universe, o.indepOptions())
+// when one is configured (a nil cache passes straight through). The
+// context cancels the walk; cancelled families are never cached.
+func (o Options) enumerate(ctx context.Context, m conflict.Model, universe []topology.LinkID) ([]indepset.Set, error) {
+	return o.Cache.EnumerateContext(ctx, m, universe, o.indepOptions())
 }
 
 // enumeratePartial is enumerate with graceful truncation; truncated
 // families are never cached (their content depends on scheduling).
-func (o Options) enumeratePartial(m conflict.Model, universe []topology.LinkID) ([]indepset.Set, bool, error) {
-	return o.Cache.EnumeratePartial(m, universe, o.indepOptions())
+func (o Options) enumeratePartial(ctx context.Context, m conflict.Model, universe []topology.LinkID) ([]indepset.Set, bool, error) {
+	return o.Cache.EnumeratePartialContext(ctx, m, universe, o.indepOptions())
 }
 
 func (o Options) omegaLimit() int {
@@ -106,6 +108,15 @@ type Result struct {
 // its demand, assuming globally optimal link scheduling. It enumerates
 // the maximal independent sets of the union of all involved paths.
 func AvailableBandwidth(m conflict.Model, background []Flow, newPath topology.Path, opts Options) (*Result, error) {
+	return AvailableBandwidthContext(context.Background(), m, background, newPath, opts)
+}
+
+// AvailableBandwidthContext is AvailableBandwidth under a context: both
+// the set enumeration and the Eq. 6 simplex poll ctx and abandon the
+// computation with an error satisfying errors.Is(err,
+// cancel.ErrCanceled) once it is cancelled. An uncancelled call returns
+// exactly what AvailableBandwidth would.
+func AvailableBandwidthContext(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, opts Options) (*Result, error) {
 	if len(newPath) == 0 {
 		return nil, fmt.Errorf("core: empty new path")
 	}
@@ -119,11 +130,11 @@ func AvailableBandwidth(m conflict.Model, background []Flow, newPath topology.Pa
 	paths = append(paths, newPath)
 	universe := topology.LinkUnion(paths...)
 
-	sets, err := opts.enumerate(m, universe)
+	sets, err := opts.enumerate(ctx, m, universe)
 	if err != nil {
 		return nil, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
-	return solveWithSetsCounted(m, background, newPath, universe, sets, opts.Cache)
+	return solveWithSetsCounted(ctx, m, background, newPath, universe, sets, opts.Cache)
 }
 
 // AvailableBandwidthLowerBound is AvailableBandwidth with graceful
@@ -132,6 +143,13 @@ func AvailableBandwidth(m conflict.Model, background []Flow, newPath topology.Pa
 // family and the result is a LOWER bound on the true availability
 // (Sec. 3.3); Truncated reports when that happened.
 func AvailableBandwidthLowerBound(m conflict.Model, background []Flow, newPath topology.Path, opts Options) (*Result, bool, error) {
+	return AvailableBandwidthLowerBoundContext(context.Background(), m, background, newPath, opts)
+}
+
+// AvailableBandwidthLowerBoundContext is AvailableBandwidthLowerBound
+// under a context; see AvailableBandwidthContext. Cancellation wins
+// over truncation: a cancelled call returns ErrCanceled and no bound.
+func AvailableBandwidthLowerBoundContext(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, opts Options) (*Result, bool, error) {
 	if len(newPath) == 0 {
 		return nil, false, fmt.Errorf("core: empty new path")
 	}
@@ -144,11 +162,11 @@ func AvailableBandwidthLowerBound(m conflict.Model, background []Flow, newPath t
 	}
 	paths = append(paths, newPath)
 	universe := topology.LinkUnion(paths...)
-	sets, truncated, err := opts.enumeratePartial(m, universe)
+	sets, truncated, err := opts.enumeratePartial(ctx, m, universe)
 	if err != nil {
 		return nil, false, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
-	res, err := solveWithSetsCounted(m, background, newPath, universe, sets, opts.Cache)
+	res, err := solveWithSetsCounted(ctx, m, background, newPath, universe, sets, opts.Cache)
 	if err != nil {
 		return nil, truncated, err
 	}
@@ -160,6 +178,12 @@ func AvailableBandwidthLowerBound(m conflict.Model, background []Flow, newPath t
 // is the lower bound of Sec. 3.3 (the restricted solution space is
 // contained in the true one).
 func AvailableBandwidthWithSets(m conflict.Model, background []Flow, newPath topology.Path, sets []indepset.Set) (*Result, error) {
+	return AvailableBandwidthWithSetsContext(context.Background(), m, background, newPath, sets)
+}
+
+// AvailableBandwidthWithSetsContext is AvailableBandwidthWithSets under
+// a context; see AvailableBandwidthContext.
+func AvailableBandwidthWithSetsContext(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, sets []indepset.Set) (*Result, error) {
 	if len(newPath) == 0 {
 		return nil, fmt.Errorf("core: empty new path")
 	}
@@ -172,16 +196,16 @@ func AvailableBandwidthWithSets(m conflict.Model, background []Flow, newPath top
 	}
 	paths = append(paths, newPath)
 	universe := topology.LinkUnion(paths...)
-	return solveWithSets(m, background, newPath, universe, sets)
+	return solveWithSets(ctx, m, background, newPath, universe, sets)
 }
 
-func solveWithSets(m conflict.Model, background []Flow, newPath topology.Path, universe []topology.LinkID, sets []indepset.Set) (*Result, error) {
-	return solveWithSetsCounted(m, background, newPath, universe, sets, nil)
+func solveWithSets(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, universe []topology.LinkID, sets []indepset.Set) (*Result, error) {
+	return solveWithSetsCounted(ctx, m, background, newPath, universe, sets, nil)
 }
 
 // solveWithSetsCounted is solveWithSets reporting the solve's pivot
 // count into the (possibly nil) cache's cold-solve counters.
-func solveWithSetsCounted(m conflict.Model, background []Flow, newPath topology.Path, universe []topology.LinkID, sets []indepset.Set, cache *memo.Cache) (*Result, error) {
+func solveWithSetsCounted(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, universe []topology.LinkID, sets []indepset.Set, cache *memo.Cache) (*Result, error) {
 	demand := linkDemand(background)
 	newCount := linkCount(newPath)
 
@@ -217,7 +241,7 @@ func solveWithSetsCounted(m conflict.Model, background []Flow, newPath topology.
 		}
 	}
 
-	sol, err := prob.Solve()
+	sol, err := prob.SolveContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: solving Eq.6 LP: %w", err)
 	}
@@ -241,6 +265,13 @@ func solveWithSetsCounted(m conflict.Model, background []Flow, newPath topology.
 // simultaneously (the feasibility side of Eq. 2/4), and returns a
 // delivering schedule when they can.
 func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedule.Schedule, error) {
+	return FeasibleDemandsContext(context.Background(), m, flows, opts)
+}
+
+// FeasibleDemandsContext is FeasibleDemands under a context; see
+// AvailableBandwidthContext. A cancelled call returns no verdict:
+// callers must not treat ErrCanceled as "infeasible".
+func FeasibleDemandsContext(ctx context.Context, m conflict.Model, flows []Flow, opts Options) (bool, schedule.Schedule, error) {
 	if err := validateFlows(flows); err != nil {
 		return false, schedule.Schedule{}, err
 	}
@@ -252,7 +283,7 @@ func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedu
 		paths = append(paths, f.Path)
 	}
 	universe := topology.LinkUnion(paths...)
-	sets, err := opts.enumerate(m, universe)
+	sets, err := opts.enumerate(ctx, m, universe)
 	if err != nil {
 		return false, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -287,7 +318,7 @@ func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedu
 			return false, schedule.Schedule{}, fmt.Errorf("core: %w", err)
 		}
 	}
-	sol, err := prob.Solve()
+	sol, err := prob.SolveContext(ctx)
 	if err != nil {
 		return false, schedule.Schedule{}, fmt.Errorf("core: solving feasibility LP: %w", err)
 	}
@@ -310,6 +341,12 @@ func FeasibleDemands(m conflict.Model, flows []Flow, opts Options) (bool, schedu
 // new flows are jointly admissible. The second return is the delivering
 // schedule at the optimum.
 func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options) (float64, schedule.Schedule, error) {
+	return MaxDemandScaleContext(context.Background(), m, background, newFlows, opts)
+}
+
+// MaxDemandScaleContext is MaxDemandScale under a context; see
+// AvailableBandwidthContext.
+func MaxDemandScaleContext(ctx context.Context, m conflict.Model, background, newFlows []Flow, opts Options) (float64, schedule.Schedule, error) {
 	if len(newFlows) == 0 {
 		return 0, schedule.Schedule{}, fmt.Errorf("core: no new flows")
 	}
@@ -332,7 +369,7 @@ func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options)
 		paths = append(paths, f.Path)
 	}
 	universe := topology.LinkUnion(paths...)
-	sets, err := opts.enumerate(m, universe)
+	sets, err := opts.enumerate(ctx, m, universe)
 	if err != nil {
 		return 0, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -373,7 +410,7 @@ func MaxDemandScale(m conflict.Model, background, newFlows []Flow, opts Options)
 			return 0, schedule.Schedule{}, fmt.Errorf("core: %w", err)
 		}
 	}
-	sol, err := prob.Solve()
+	sol, err := prob.SolveContext(ctx)
 	if err != nil {
 		return 0, schedule.Schedule{}, fmt.Errorf("core: solving scale LP: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"abw/internal/conflict"
@@ -21,6 +22,12 @@ import (
 // question of the paper's reference [11], answered here with the
 // paper's own rate-coupled machinery.
 func MaxMinFair(m conflict.Model, flows []Flow, opts Options) ([]float64, schedule.Schedule, error) {
+	return MaxMinFairContext(context.Background(), m, flows, opts)
+}
+
+// MaxMinFairContext is MaxMinFair under a context: enumeration and
+// every progressive-filling LP poll ctx; see AvailableBandwidthContext.
+func MaxMinFairContext(ctx context.Context, m conflict.Model, flows []Flow, opts Options) ([]float64, schedule.Schedule, error) {
 	if len(flows) == 0 {
 		return nil, schedule.Schedule{}, fmt.Errorf("core: no flows")
 	}
@@ -32,7 +39,7 @@ func MaxMinFair(m conflict.Model, flows []Flow, opts Options) ([]float64, schedu
 		paths = append(paths, f.Path)
 	}
 	universe := topology.LinkUnion(paths...)
-	sets, err := opts.enumerate(m, universe)
+	sets, err := opts.enumerate(ctx, m, universe)
 	if err != nil {
 		return nil, schedule.Schedule{}, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -42,7 +49,7 @@ func MaxMinFair(m conflict.Model, flows []Flow, opts Options) ([]float64, schedu
 	remaining := len(flows)
 
 	for round := 0; remaining > 0 && round <= len(flows); round++ {
-		theta, _, err := solveFill(flows, universe, sets, alloc, frozen, -1)
+		theta, _, err := solveFill(ctx, flows, universe, sets, alloc, frozen, -1)
 		if err != nil {
 			return nil, schedule.Schedule{}, err
 		}
@@ -75,7 +82,7 @@ func MaxMinFair(m conflict.Model, flows []Flow, opts Options) ([]float64, schedu
 			if frozen[j] {
 				continue
 			}
-			best, _, err := solveFill(flows, universe, sets, alloc, frozen, j)
+			best, _, err := solveFill(ctx, flows, universe, sets, alloc, frozen, j)
 			if err != nil {
 				return nil, schedule.Schedule{}, err
 			}
@@ -101,7 +108,7 @@ func MaxMinFair(m conflict.Model, flows []Flow, opts Options) ([]float64, schedu
 	for j, f := range flows {
 		final[j] = Flow{Path: f.Path, Demand: alloc[j]}
 	}
-	ok, sched, err := FeasibleDemands(m, final, opts)
+	ok, sched, err := FeasibleDemandsContext(ctx, m, final, opts)
 	if err != nil {
 		return nil, schedule.Schedule{}, err
 	}
@@ -117,6 +124,7 @@ func MaxMinFair(m conflict.Model, flows []Flow, opts Options) ([]float64, schedu
 // while every other unfrozen flow keeps at least alloc (the freeze
 // test).
 func solveFill(
+	ctx context.Context,
 	flows []Flow,
 	universe []topology.LinkID,
 	sets []indepset.Set,
@@ -171,7 +179,7 @@ func solveFill(
 			return 0, nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	sol, err := prob.Solve()
+	sol, err := prob.SolveContext(ctx)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: solving filling LP: %w", err)
 	}

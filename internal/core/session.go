@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -93,6 +94,15 @@ type feasResult struct {
 // repeated queries for the same universe and candidate path re-solve
 // warm instead of from scratch.
 func (s *Session) AvailableBandwidth(background []Flow, newPath topology.Path) (*Result, error) {
+	return s.AvailableBandwidthContext(context.Background(), background, newPath)
+}
+
+// AvailableBandwidthContext is AvailableBandwidth under a context:
+// enumeration and the (warm or cold) simplex poll ctx. A cancelled
+// resolve discards the retained tableau, so the next query for the
+// same pair simply re-solves cold — cancellation never corrupts the
+// session's memoized state.
+func (s *Session) AvailableBandwidthContext(ctx context.Context, background []Flow, newPath topology.Path) (*Result, error) {
 	if len(newPath) == 0 {
 		return nil, fmt.Errorf("core: empty new path")
 	}
@@ -109,7 +119,7 @@ func (s *Session) AvailableBandwidth(background []Flow, newPath topology.Path) (
 	// Enumeration (and its cache) run unlocked; the family is
 	// deterministic, so a race between two builders of the same state
 	// is settled by whoever inserts first.
-	sets, err := s.opts.enumerate(s.m, universe)
+	sets, err := s.opts.enumerate(ctx, s.m, universe)
 	if err != nil {
 		return nil, fmt.Errorf("core: enumerating independent sets: %w", err)
 	}
@@ -126,7 +136,7 @@ func (s *Session) AvailableBandwidth(background []Flow, newPath topology.Path) (
 		}
 		s.avail[key] = st
 	}
-	return st.solve(s.opts.Cache, demand)
+	return st.solve(ctx, s.opts.Cache, demand)
 }
 
 // newAvailState builds the Eq. 6 LP for the pair once. Unlike the cold
@@ -174,13 +184,13 @@ func newAvailState(universe []topology.LinkID, newPath topology.Path, sets []ind
 // solve pushes the demand vector into the RHS and resolves — warm when
 // the retained tableau allows it, cold otherwise — reporting pivots
 // into the cache counters.
-func (st *availState) solve(cache *memo.Cache, demand map[topology.LinkID]float64) (*Result, error) {
+func (st *availState) solve(ctx context.Context, cache *memo.Cache, demand map[topology.LinkID]float64) (*Result, error) {
 	for _, link := range st.universe {
 		if err := st.w.SetRHS(st.rowIdx[link], demand[link]); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	sol, warm, err := st.w.Resolve()
+	sol, warm, err := st.w.ResolveContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: solving Eq.6 LP: %w", err)
 	}
@@ -210,6 +220,13 @@ func (st *availState) solve(cache *memo.Cache, demand map[topology.LinkID]float6
 // package-level FeasibleDemands: identical demand signatures over the
 // same universe return the recorded verdict and schedule.
 func (s *Session) FeasibleDemands(flows []Flow) (bool, schedule.Schedule, error) {
+	return s.FeasibleDemandsContext(context.Background(), flows)
+}
+
+// FeasibleDemandsContext is FeasibleDemands under a context. A
+// cancelled check memoizes nothing: ErrCanceled is never recorded as a
+// verdict, so a later uncancelled repeat re-answers from scratch.
+func (s *Session) FeasibleDemandsContext(ctx context.Context, flows []Flow) (bool, schedule.Schedule, error) {
 	if err := validateFlows(flows); err != nil {
 		return false, schedule.Schedule{}, err
 	}
@@ -231,7 +248,7 @@ func (s *Session) FeasibleDemands(flows []Flow) (bool, schedule.Schedule, error)
 	}
 	s.mu.Unlock()
 
-	ok, sched, err := FeasibleDemands(s.m, flows, s.opts)
+	ok, sched, err := FeasibleDemandsContext(ctx, s.m, flows, s.opts)
 	if err != nil {
 		return ok, sched, err
 	}
@@ -248,6 +265,12 @@ func (s *Session) FeasibleDemands(flows []Flow) (bool, schedule.Schedule, error)
 // admission step with an unchanged background, so the repeat costs a
 // map lookup. net must be the network the session's model was built on.
 func (s *Session) IdleRatios(net *topology.Network, flows []Flow) ([]float64, error) {
+	return s.IdleRatiosContext(context.Background(), net, flows)
+}
+
+// IdleRatiosContext is IdleRatios under a context; cancelled
+// computations memoize nothing.
+func (s *Session) IdleRatiosContext(ctx context.Context, net *topology.Network, flows []Flow) ([]float64, error) {
 	if len(flows) == 0 {
 		idle := make([]float64, net.NumNodes())
 		for i := range idle {
@@ -274,7 +297,7 @@ func (s *Session) IdleRatios(net *topology.Network, flows []Flow) ([]float64, er
 	}
 	s.mu.Unlock()
 
-	ok, sched, err := s.FeasibleDemands(flows)
+	ok, sched, err := s.FeasibleDemandsContext(ctx, flows)
 	if err != nil {
 		return nil, err
 	}

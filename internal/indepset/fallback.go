@@ -1,6 +1,9 @@
 package indepset
 
 import (
+	"context"
+
+	"abw/internal/cancel"
 	"abw/internal/conflict"
 	"abw/internal/topology"
 )
@@ -13,10 +16,10 @@ import (
 // With workers > 1 the assignment lattice splits like the pairwise
 // walk's (choiceTasks); the model's MaxRate/Rates must then be safe for
 // concurrent read-only use (every model in internal/conflict is).
-func enumerateFallback(m conflict.Model, universe []topology.LinkID, limit, workers int) ([]Set, error) {
-	e := &fallbackEnum{m: m, universe: universe, budget: newBudget(limit, workers)}
+func enumerateFallback(ctx context.Context, m conflict.Model, universe []topology.LinkID, limit, workers int) ([]Set, error) {
+	e := &fallbackEnum{m: m, ctx: ctx, universe: universe, budget: newBudget(limit, workers)}
 	if workers <= 1 {
-		w := &fallbackWorker{e: e}
+		w := &fallbackWorker{e: e, chk: cancel.NewChecker(ctx, 0)}
 		err := w.rec(0)
 		return w.maximalSets(), err
 	}
@@ -25,7 +28,7 @@ func enumerateFallback(m conflict.Model, universe []topology.LinkID, limit, work
 		workers = len(tasks)
 	}
 	return parallelRun(workers, len(tasks), func() (func(int) error, func() []Set) {
-		w := &fallbackWorker{e: e}
+		w := &fallbackWorker{e: e, chk: cancel.NewChecker(ctx, 0)}
 		return func(t int) error { return w.runTask(tasks[t]) },
 			w.maximalSets
 	})
@@ -35,6 +38,7 @@ func enumerateFallback(m conflict.Model, universe []topology.LinkID, limit, work
 // brute-force enumeration.
 type fallbackEnum struct {
 	m        conflict.Model
+	ctx      context.Context
 	universe []topology.LinkID
 	budget   *budget
 }
@@ -43,12 +47,16 @@ type fallbackEnum struct {
 // feasible assignments.
 type fallbackWorker struct {
 	e   *fallbackEnum
+	chk *cancel.Checker // nil for uncancellable contexts (zero cost)
 	cur []conflict.Couple
 	all []Set
 }
 
 func (w *fallbackWorker) rec(idx int) error {
 	e := w.e
+	if err := w.chk.Check(); err != nil {
+		return err
+	}
 	if idx == len(e.universe) {
 		if len(w.cur) > 0 {
 			if !e.budget.take() {

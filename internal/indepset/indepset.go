@@ -33,12 +33,14 @@
 package indepset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"abw/internal/cancel"
 	"abw/internal/conflict"
 	"abw/internal/radio"
 	"abw/internal/topology"
@@ -146,6 +148,12 @@ func (s Set) RateVector(universe []topology.LinkID) []radio.Rate {
 // results.
 var ErrLimit = fmt.Errorf("indepset: enumeration limit exceeded")
 
+// ErrCanceled reports that an enumeration was abandoned because its
+// context was cancelled. Unlike ErrLimit, a cancelled walk's partial
+// family is NOT returned — cancellation yields no result at all, and
+// callers (the memo cache in particular) must never store one.
+var ErrCanceled = cancel.ErrCanceled
+
 // Options configure enumeration.
 type Options struct {
 	// Limit bounds the number of feasible sets explored; 0 means the
@@ -192,7 +200,17 @@ func (o Options) EffectiveLimit() int { return o.limit() }
 // The empty set is never returned; if no link can transmit at all the
 // result is empty.
 func Enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, error) {
-	sets, truncated, err := enumerate(m, links, opts)
+	return EnumerateContext(context.Background(), m, links, opts)
+}
+
+// EnumerateContext is Enumerate under a context: the walk polls
+// ctx.Done() periodically (a countdown check in the DFS hot loops, so
+// uncancellable contexts cost nothing) and returns an error satisfying
+// errors.Is(err, ErrCanceled) promptly once ctx is cancelled. A run
+// whose context is never cancelled returns the byte-identical family
+// of a context-free run at every worker count.
+func EnumerateContext(ctx context.Context, m conflict.Model, links []topology.LinkID, opts Options) ([]Set, error) {
+	sets, truncated, err := enumerate(ctx, m, links, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -209,10 +227,17 @@ func Enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, 
 // is genuinely feasible and maximal); it must not be used where
 // completeness matters (exact Eq. 6 optima, upper bounds).
 func EnumeratePartial(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
-	return enumerate(m, links, opts)
+	return enumerate(context.Background(), m, links, opts)
 }
 
-func enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
+// EnumeratePartialContext is EnumeratePartial under a context; see
+// EnumerateContext. Cancellation wins over truncation: a cancelled walk
+// returns ErrCanceled and no family, never a truncated partial one.
+func EnumeratePartialContext(ctx context.Context, m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
+	return enumerate(ctx, m, links, opts)
+}
+
+func enumerate(ctx context.Context, m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
 	universe := dedupSorted(links)
 	limit := opts.limit()
 	workers := opts.workerCount(len(universe))
@@ -220,11 +245,11 @@ func enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, 
 	var err error
 	switch mm := m.(type) {
 	case *conflict.Physical:
-		out, err = enumeratePhysical(mm, universe, limit, workers)
+		out, err = enumeratePhysical(ctx, mm, universe, limit, workers)
 	case conflict.PairwiseModel:
-		out, err = enumeratePairwise(mm, universe, limit, workers)
+		out, err = enumeratePairwise(ctx, mm, universe, limit, workers)
 	default:
-		out, err = enumerateFallback(m, universe, limit, workers)
+		out, err = enumerateFallback(ctx, m, universe, limit, workers)
 	}
 	truncated := errors.Is(err, ErrLimit)
 	if err != nil && !truncated {

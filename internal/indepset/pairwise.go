@@ -1,8 +1,10 @@
 package indepset
 
 import (
+	"context"
 	"math/bits"
 
+	"abw/internal/cancel"
 	"abw/internal/conflict"
 	"abw/internal/radio"
 	"abw/internal/topology"
@@ -19,7 +21,7 @@ import (
 // With workers > 1 the assignment lattice is split at its first levels
 // (choiceTasks); the clear-mask table is built once and shared
 // read-only, each worker owning only its avail/member stacks.
-func enumeratePairwise(m conflict.PairwiseModel, universe []topology.LinkID, limit, workers int) ([]Set, error) {
+func enumeratePairwise(ctx context.Context, m conflict.PairwiseModel, universe []topology.LinkID, limit, workers int) ([]Set, error) {
 	n := len(universe)
 	if n == 0 {
 		return nil, nil
@@ -35,7 +37,7 @@ func enumeratePairwise(m conflict.PairwiseModel, universe []topology.LinkID, lim
 		}
 		if len(rates[i]) > 64 {
 			// Masks are uint64; absurd rate counts take the slow path.
-			return enumerateFallback(m, universe, limit, workers)
+			return enumerateFallback(ctx, m, universe, limit, workers)
 		}
 	}
 	// clear[i][j][rj] is the mask of link i's rates that clear the couple
@@ -66,6 +68,7 @@ func enumeratePairwise(m conflict.PairwiseModel, universe []topology.LinkID, lim
 		}
 	}
 	e := &pairwiseEnum{
+		ctx:      ctx,
 		universe: universe,
 		rates:    rates,
 		clear:    clear,
@@ -92,6 +95,7 @@ func enumeratePairwise(m conflict.PairwiseModel, universe []topology.LinkID, lim
 // pairwise enumeration: the universe, its declared positive rates, and
 // the precomputed clear-mask table.
 type pairwiseEnum struct {
+	ctx      context.Context
 	universe []topology.LinkID
 	rates    [][]radio.Rate
 	clear    [][][]uint64
@@ -110,7 +114,8 @@ type pairMember struct {
 // snapshots, and the member stack.
 type pairwiseWorker struct {
 	e        *pairwiseEnum
-	avail    []uint64 // rates of each link clearing every member
+	chk      *cancel.Checker // nil for uncancellable contexts (zero cost)
+	avail    []uint64        // rates of each link clearing every member
 	saved    [][]uint64
 	members  []pairMember
 	isMember []bool
@@ -130,6 +135,7 @@ func newPairwiseWorker(e *pairwiseEnum) *pairwiseWorker {
 	}
 	return &pairwiseWorker{
 		e:        e,
+		chk:      cancel.NewChecker(e.ctx, 0),
 		avail:    avail,
 		saved:    saved,
 		members:  make([]pairMember, 0, n),
@@ -252,6 +258,9 @@ func (w *pairwiseWorker) visitLeaf() error {
 }
 
 func (w *pairwiseWorker) rec(idx int) error {
+	if err := w.chk.Check(); err != nil {
+		return err
+	}
 	if idx == w.e.n {
 		return w.visitLeaf()
 	}

@@ -1,6 +1,9 @@
 package indepset
 
 import (
+	"context"
+
+	"abw/internal/cancel"
 	"abw/internal/conflict"
 	"abw/internal/radio"
 	"abw/internal/topology"
@@ -19,13 +22,14 @@ import (
 // branching levels (subtreeTasks) and each worker walks its subtrees
 // with a private SetTracker; see parallel.go for the equivalence
 // argument.
-func enumeratePhysical(m *conflict.Physical, universe []topology.LinkID, limit, workers int) ([]Set, error) {
+func enumeratePhysical(ctx context.Context, m *conflict.Physical, universe []topology.LinkID, limit, workers int) ([]Set, error) {
 	n := len(universe)
 	if n == 0 {
 		return nil, nil
 	}
 	e := &physicalEnum{
 		m:        m,
+		ctx:      ctx,
 		universe: universe,
 		minRate:  make([]radio.Rate, n),
 		n:        n,
@@ -57,6 +61,7 @@ func enumeratePhysical(m *conflict.Physical, universe []topology.LinkID, limit, 
 // physical enumeration.
 type physicalEnum struct {
 	m        *conflict.Physical
+	ctx      context.Context
 	universe []topology.LinkID
 	minRate  []radio.Rate
 	n        int
@@ -68,6 +73,7 @@ type physicalEnum struct {
 type physicalWorker struct {
 	e        *physicalEnum
 	tr       *conflict.SetTracker
+	chk      *cancel.Checker // nil for uncancellable contexts (zero cost)
 	members  []int
 	isMember []bool
 	rateBuf  []radio.Rate
@@ -79,6 +85,7 @@ func newPhysicalWorker(e *physicalEnum) *physicalWorker {
 	return &physicalWorker{
 		e:        e,
 		tr:       e.m.NewSetTracker(e.universe),
+		chk:      cancel.NewChecker(e.ctx, 0),
 		members:  make([]int, 0, e.n),
 		isMember: make([]bool, e.n),
 		rateBuf:  make([]radio.Rate, e.n),
@@ -130,6 +137,9 @@ func (w *physicalWorker) visit() (ok bool, err error) {
 }
 
 func (w *physicalWorker) rec(start int) error {
+	if err := w.chk.Check(); err != nil {
+		return err
+	}
 	if len(w.members) > 0 {
 		ok, err := w.visit()
 		if !ok || err != nil {
@@ -148,6 +158,9 @@ func (w *physicalWorker) rec(start int) error {
 }
 
 func (w *physicalWorker) runTask(t subtreeTask) error {
+	if err := w.chk.Check(); err != nil {
+		return err
+	}
 	for k := 0; k < t.plen; k++ {
 		w.push(t.prefix[k])
 	}

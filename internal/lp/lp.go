@@ -12,8 +12,11 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"abw/internal/cancel"
 )
 
 // Sense is the optimization direction.
@@ -239,20 +242,36 @@ const (
 	reducedCost = 1e-9
 )
 
+// pivotCheckEvery is the countdown interval of the per-pivot
+// cancellation check: one channel poll per 16 pivots keeps the simplex
+// loop responsive (pivots on the paper's LPs are microseconds) while
+// the uncancellable path pays only the nil-Checker branch.
+const pivotCheckEvery = 16
+
 // Solve runs two-phase primal simplex. It returns an error only on
 // malformed problems or on an internal failure to converge; infeasible
 // and unbounded programs come back as Solutions with the matching
 // Status.
 func (p *Problem) Solve() (*Solution, error) {
-	sol, _, err := p.solve()
+	sol, _, err := p.solve(nil)
+	return sol, err
+}
+
+// SolveContext is Solve under a context: the simplex loop polls
+// ctx.Done() between pivots and abandons the solve with an error
+// satisfying errors.Is(err, cancel.ErrCanceled) once ctx is cancelled.
+// An uncancelled solve returns exactly what Solve would.
+func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
+	sol, _, err := p.solve(cancel.NewChecker(ctx, pivotCheckEvery))
 	return sol, err
 }
 
 // solve is Solve returning the final tableau alongside the solution so
 // WarmSolver (warm.go) can retain it across right-hand-side changes.
 // The tableau is nil unless phase 2 ran to optimality (only then is the
-// retained basis dual-feasible, the warm-start precondition).
-func (p *Problem) solve() (*Solution, *tableau, error) {
+// retained basis dual-feasible, the warm-start precondition). A nil chk
+// means the solve cannot be cancelled.
+func (p *Problem) solve(chk *cancel.Checker) (*Solution, *tableau, error) {
 	if p.sense != Minimize && p.sense != Maximize {
 		return nil, nil, fmt.Errorf("lp: invalid sense %d", int(p.sense))
 	}
@@ -264,7 +283,7 @@ func (p *Problem) solve() (*Solution, *tableau, error) {
 
 	// Phase 1: minimize the sum of artificials.
 	if tb.nArt > 0 {
-		feasible, err := tb.phase1()
+		feasible, err := tb.phase1(chk)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -274,7 +293,7 @@ func (p *Problem) solve() (*Solution, *tableau, error) {
 	}
 
 	// Phase 2: original objective (as minimization).
-	status, err := tb.primal(tb.phase2Costs(p), tb.isArt)
+	status, err := tb.primal(chk, tb.phase2Costs(p), tb.isArt)
 	if err != nil {
 		return nil, nil, fmt.Errorf("lp: phase 2: %w", err)
 	}
@@ -433,7 +452,7 @@ func (p *Problem) newTableau() *tableau {
 // phase1 minimizes the sum of artificials and drives any degenerate
 // survivors out of the basis. It reports whether the problem is
 // feasible.
-func (tb *tableau) phase1() (bool, error) {
+func (tb *tableau) phase1(chk *cancel.Checker) (bool, error) {
 	t, basis, total := tb.t, tb.basis, tb.total
 	c1 := tb.cbuf[:total]
 	for j := range c1 {
@@ -441,7 +460,7 @@ func (tb *tableau) phase1() (bool, error) {
 			c1[j] = 1
 		}
 	}
-	status, err := tb.primal(c1, nil)
+	status, err := tb.primal(chk, c1, nil)
 	if err != nil {
 		return false, fmt.Errorf("lp: phase 1: %w", err)
 	}
@@ -516,16 +535,18 @@ func (tb *tableau) solution(p *Problem) *Solution {
 
 // primal runs the primal simplex loop on the tableau, minimizing cost
 // c, counting pivots into tb.pivots.
-func (tb *tableau) primal(c []float64, barred []bool) (Status, error) {
-	status, pivots, err := simplex(tb.t, tb.basis, c, barred, tb.red)
+func (tb *tableau) primal(chk *cancel.Checker, c []float64, barred []bool) (Status, error) {
+	status, pivots, err := simplex(tb.t, tb.basis, c, barred, tb.red, chk)
 	tb.pivots += pivots
 	return status, err
 }
 
 // simplex runs the primal simplex loop on the tableau, minimizing cost
 // c. Columns with barred[j] true may not enter the basis (artificials
-// in phase 2). It returns Optimal or Unbounded plus the pivot count.
-func simplex(t [][]float64, basis []int, c []float64, barred []bool, red []float64) (Status, int, error) {
+// in phase 2). It returns Optimal or Unbounded plus the pivot count. A
+// non-nil chk is polled once per iteration (amortized by its countdown)
+// and aborts the loop with the cancellation cause.
+func simplex(t [][]float64, basis []int, c []float64, barred []bool, red []float64, chk *cancel.Checker) (Status, int, error) {
 	m := len(t)
 	if m == 0 {
 		// With no rows, any variable with negative cost increases without
@@ -541,6 +562,9 @@ func simplex(t [][]float64, basis []int, c []float64, barred []bool, red []float
 	rhs := total
 
 	for iter := 0; iter < maxPivots; iter++ {
+		if err := chk.Check(); err != nil {
+			return 0, iter, err
+		}
 		// Reduced costs: r_j = c_j - c_B . B^-1 A_j. The tableau rows
 		// already are B^-1 A, so r_j = c_j - sum_i c[basis[i]] * t[i][j].
 		// The dual multiplier c[basis[i]] is fixed per row, so accumulate

@@ -388,7 +388,7 @@ func TestRatioTestStaleMinimum(t *testing.T) {
 	}
 
 	c := []float64{-1, 0, 0, 0, 0, 0}
-	status, _, err := simplex(tab, basis, c, nil, make([]float64, len(c)))
+	status, _, err := simplex(tab, basis, c, nil, make([]float64, len(c)), nil)
 	if err != nil {
 		t.Fatalf("simplex: %v", err)
 	}

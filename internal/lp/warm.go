@@ -1,8 +1,12 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+
+	"abw/internal/cancel"
 )
 
 // WarmSolver re-solves one Problem across a sequence of right-hand-side
@@ -58,7 +62,13 @@ func (w *WarmSolver) Problem() *Problem { return w.p }
 // later warm resolves. Only an Optimal tableau is retained: that is
 // the dual-feasibility precondition warm-starting needs.
 func (w *WarmSolver) Solve() (*Solution, error) {
-	sol, tb, err := w.p.solve()
+	return w.SolveContext(context.Background())
+}
+
+// SolveContext is Solve under a context; see Problem.SolveContext. A
+// cancelled solve retains no tableau, so the next call rebuilds cold.
+func (w *WarmSolver) SolveContext(ctx context.Context) (*Solution, error) {
+	sol, tb, err := w.p.solve(cancel.NewChecker(ctx, pivotCheckEvery))
 	if err != nil {
 		w.tab = nil
 		return nil, err
@@ -120,11 +130,21 @@ func (w *WarmSolver) SetRHS(k int, rhs float64) error {
 // otherwise (no tableau, structural growth, or any warm-path bailout)
 // it re-solves cold and retains the fresh tableau.
 func (w *WarmSolver) Resolve() (*Solution, bool, error) {
+	return w.ResolveContext(context.Background())
+}
+
+// ResolveContext is Resolve under a context: both the warm dual loop
+// and any cold fallback poll ctx between pivots. A cancelled resolve
+// discards the retained tableau (it may be mid-pivot-sequence), so the
+// next call after cancellation simply runs cold — correctness is never
+// entrusted to a half-repaired basis.
+func (w *WarmSolver) ResolveContext(ctx context.Context) (*Solution, bool, error) {
+	chk := cancel.NewChecker(ctx, pivotCheckEvery)
 	if w.tab != nil && (w.p.NumVars() != w.nVars || w.p.NumConstraints() != w.nCons) {
 		w.tab = nil
 	}
 	if w.tab != nil {
-		sol, ok, err := w.tab.dualResolve(w.p)
+		sol, ok, err := w.tab.dualResolve(w.p, chk)
 		if err != nil {
 			w.tab = nil
 			return nil, false, err
@@ -139,7 +159,7 @@ func (w *WarmSolver) Resolve() (*Solution, bool, error) {
 		// dual-infeasibility verdict we only trust from a cold solve).
 		w.tab = nil
 	}
-	sol, tb, err := w.p.solve()
+	sol, tb, err := w.p.solve(chk)
 	if err != nil {
 		return nil, false, err
 	}
@@ -162,7 +182,7 @@ func (w *WarmSolver) WarmResolves() int { return w.warmCount }
 // primal feasibility after rhs changes, then a primal cleanup pass.
 // ok=false means the warm path cannot vouch for the result (the caller
 // re-solves cold); err is reserved for malformed problems.
-func (tb *tableau) dualResolve(p *Problem) (*Solution, bool, error) {
+func (tb *tableau) dualResolve(p *Problem, chk *cancel.Checker) (*Solution, bool, error) {
 	if p.sense != Minimize && p.sense != Maximize {
 		return nil, false, fmt.Errorf("lp: invalid sense %d", int(p.sense))
 	}
@@ -173,6 +193,9 @@ func (tb *tableau) dualResolve(p *Problem) (*Solution, bool, error) {
 	for iter := 0; ; iter++ {
 		if iter >= maxPivots {
 			return nil, false, nil // stalled; cold solve decides
+		}
+		if err := chk.Check(); err != nil {
+			return nil, false, err
 		}
 		// Leaving row: most negative rhs.
 		leaving := -1
@@ -235,8 +258,11 @@ func (tb *tableau) dualResolve(p *Problem) (*Solution, bool, error) {
 	// clamp above can hide tolerance-scale dual infeasibility. Finish
 	// with the same primal loop the cold path ends on, so warm and cold
 	// optima satisfy the identical termination criterion.
-	status, err := tb.primal(c2, tb.isArt)
+	status, err := tb.primal(chk, c2, tb.isArt)
 	if err != nil {
+		if errors.Is(err, cancel.ErrCanceled) {
+			return nil, false, err // cancelled: no cold retry, caller aborts
+		}
 		return nil, false, nil // stalled; cold solve decides
 	}
 	if status != Optimal {

@@ -1,6 +1,7 @@
 package memo
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -12,7 +13,7 @@ import (
 )
 
 // swapEnumerate installs fn as the cache's enumeration for the test.
-func swapEnumerate(t *testing.T, fn func(conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error)) {
+func swapEnumerate(t *testing.T, fn func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error)) {
 	t.Helper()
 	orig := enumerateFn
 	enumerateFn = fn
@@ -156,7 +157,7 @@ func TestLookupIdentityAcrossAllPaths(t *testing.T) {
 	// Erroring flight: the walk itself fails; the error surfaces but
 	// the totals still reconcile.
 	boom := errors.New("injected enumeration failure")
-	swapEnumerate(t, func(conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error) {
+	swapEnumerate(t, func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error) {
 		return nil, false, boom
 	})
 	if _, err := c.Enumerate(m, links[:1], indepset.Options{}); !errors.Is(err, boom) {
@@ -186,7 +187,7 @@ func TestSingleflightMergeAccountingOnError(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	boom := errors.New("injected flight failure")
-	swapEnumerate(t, func(conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error) {
+	swapEnumerate(t, func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error) {
 		close(started)
 		<-release
 		return nil, false, boom

@@ -30,11 +30,14 @@ package memo
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"abw/internal/cancel"
 	"abw/internal/conflict"
 	"abw/internal/indepset"
 	"abw/internal/topology"
@@ -69,22 +72,23 @@ type Cache struct {
 	// evictions only changes under mu (insertLocked), so Stats loads it
 	// inside the same critical section as entries/bytes — the three
 	// describe one shape and must tear together or not at all.
-	lookups      int64
-	hits         int64
-	misses       int64
-	bypasses     int64
-	evictions    int64
-	merges       int64
-	coldPivots   int64
-	warmPivots   int64
-	warmResolves int64
-	pivotsSaved  int64
+	lookups       int64
+	hits          int64
+	misses        int64
+	bypasses      int64
+	evictions     int64
+	merges        int64
+	cancellations int64
+	coldPivots    int64
+	warmPivots    int64
+	warmResolves  int64
+	pivotsSaved   int64
 }
 
 // enumerateFn is the enumeration the cache falls back to on a miss.
 // Tests swap it to inject errors and to hold flights open
 // deterministically; production always points at the real walk.
-var enumerateFn = indepset.EnumeratePartial
+var enumerateFn = indepset.EnumeratePartialContext
 
 type entry struct {
 	key  string
@@ -204,7 +208,17 @@ func canonicalUniverse(links []topology.LinkID) []topology.LinkID {
 // must treat the sets as read-only (they already must — core hands the
 // same backing to every Result).
 func (c *Cache) Enumerate(m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, error) {
-	sets, truncated, err := c.enumerate(m, links, opts)
+	return c.EnumerateContext(context.Background(), m, links, opts)
+}
+
+// EnumerateContext is Enumerate under a context. Cancelled enumerations
+// return an error satisfying errors.Is(err, cancel.ErrCanceled) and are
+// never stored — not in memory, not on disk. A waiter merged into
+// another goroutine's flight honors its own context: its cancellation
+// detaches only that waiter, the leader's walk (and the cached result)
+// is unaffected.
+func (c *Cache) EnumerateContext(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, error) {
+	sets, truncated, err := c.enumerate(ctx, m, links, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +233,13 @@ func (c *Cache) Enumerate(m conflict.Model, links []topology.LinkID, opts indeps
 // results are handed back but never stored (their content depends on
 // scheduling).
 func (c *Cache) EnumeratePartial(m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
-	return c.enumerate(m, links, opts)
+	return c.enumerate(context.Background(), m, links, opts)
+}
+
+// EnumeratePartialContext is EnumeratePartial under a context; see
+// EnumerateContext for the cancellation contract.
+func (c *Cache) EnumeratePartialContext(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
+	return c.enumerate(ctx, m, links, opts)
 }
 
 // enumerate is the one lookup path. Counter identity, asserted by the
@@ -232,15 +252,17 @@ func (c *Cache) EnumeratePartial(m conflict.Model, links []topology.LinkID, opts
 // (the leader found the family spilled on disk), a miss (the leader
 // really walked — successfully or not), a bypass (unkeyable model), or
 // a merge (joined another goroutine's flight, whatever its outcome).
-func (c *Cache) enumerate(m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
+// Cancellations is orthogonal to the identity: it counts every lookup
+// that returned a cancel.ErrCanceled error, whichever path it took.
+func (c *Cache) enumerate(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
 	if c == nil {
-		return enumerateFn(m, links, opts)
+		return enumerateFn(ctx, m, links, opts)
 	}
 	atomic.AddInt64(&c.lookups, 1)
 	key, ok := Key(m, links, opts)
 	if !ok {
 		atomic.AddInt64(&c.bypasses, 1)
-		return enumerateFn(m, links, opts)
+		return c.countCanceled(enumerateFn(ctx, m, links, opts))
 	}
 
 	c.mu.Lock()
@@ -254,11 +276,17 @@ func (c *Cache) enumerate(m conflict.Model, links []topology.LinkID, opts indeps
 	if fl, joined := c.inflight[key]; joined {
 		c.mu.Unlock()
 		atomic.AddInt64(&c.merges, 1)
-		<-fl.done
-		if fl.err != nil {
-			return nil, false, fl.err
+		// Honor the waiter's own context: cancellation detaches this
+		// waiter without touching the leader's walk or its result. The
+		// nil Done channel of an uncancellable context blocks that case
+		// forever, leaving the plain fl.done wait.
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			atomic.AddInt64(&c.cancellations, 1)
+			return nil, false, cancel.Cause(ctx)
 		}
-		return copyFamily(fl.sets), fl.truncated, nil
+		return c.countCanceled(copyFlight(fl))
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
@@ -278,7 +306,7 @@ func (c *Cache) enumerate(m conflict.Model, links []topology.LinkID, opts indeps
 	}
 
 	atomic.AddInt64(&c.misses, 1)
-	fl.sets, fl.truncated, fl.err = enumerateFn(m, links, opts)
+	fl.sets, fl.truncated, fl.err = enumerateFn(ctx, m, links, opts)
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -290,14 +318,31 @@ func (c *Cache) enumerate(m conflict.Model, links []topology.LinkID, opts indeps
 
 	if fl.err == nil && !fl.truncated {
 		// Write-behind: spill the family off the query path. Only
-		// complete families reach disk, mirroring the memory rule.
+		// complete families reach disk, mirroring the memory rule —
+		// and in particular a cancelled walk (fl.err != nil) never
+		// reaches memory or disk.
 		c.store.enqueue(key, fl.sets)
 	}
 
+	return c.countCanceled(copyFlight(fl))
+}
+
+// copyFlight extracts a finished flight's outcome, copying the family
+// header like every other return path.
+func copyFlight(fl *flight) ([]indepset.Set, bool, error) {
 	if fl.err != nil {
 		return nil, false, fl.err
 	}
 	return copyFamily(fl.sets), fl.truncated, nil
+}
+
+// countCanceled bumps the cancellations counter when the outcome it
+// passes through is a cancellation.
+func (c *Cache) countCanceled(sets []indepset.Set, truncated bool, err error) ([]indepset.Set, bool, error) {
+	if err != nil && errors.Is(err, cancel.ErrCanceled) {
+		atomic.AddInt64(&c.cancellations, 1)
+	}
+	return sets, truncated, err
 }
 
 // insertLocked stores a complete family and evicts LRU entries until
@@ -384,6 +429,12 @@ type Stats struct {
 	// SingleflightMerges counts concurrent duplicate enumerations that
 	// joined another goroutine's walk instead of running their own.
 	SingleflightMerges int64 `json:"singleflightMerges"`
+	// Cancellations counts lookups abandoned by context cancellation —
+	// a cancelled leader walk, a cancelled waiter detaching from a
+	// flight, or a cancelled bypass enumeration. Orthogonal to the
+	// Lookups identity above (a cancelled lookup still counted as a
+	// miss, merge, or bypass); cancelled results are never stored.
+	Cancellations int64 `json:"cancellations"`
 	// Entries and Bytes describe the currently retained families.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
@@ -434,6 +485,7 @@ func (c *Cache) Stats() Stats {
 		Bypasses:           atomic.LoadInt64(&c.bypasses),
 		Evictions:          evictions,
 		SingleflightMerges: atomic.LoadInt64(&c.merges),
+		Cancellations:      atomic.LoadInt64(&c.cancellations),
 		Entries:            entries,
 		Bytes:              bytes,
 		MaxBytes:           c.maxBytes,

@@ -1,6 +1,7 @@
 package memo
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,9 +20,9 @@ import (
 func failEnumerate(t *testing.T) {
 	t.Helper()
 	orig := enumerateFn
-	enumerateFn = func(m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
+	enumerateFn = func(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
 		t.Error("enumeration ran where a disk hit was required")
-		return orig(m, links, opts)
+		return orig(ctx, m, links, opts)
 	}
 	t.Cleanup(func() { enumerateFn = orig })
 }

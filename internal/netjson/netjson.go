@@ -4,9 +4,11 @@
 package netjson
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"abw/internal/conflict"
 	"abw/internal/core"
@@ -64,6 +66,12 @@ type Spec struct {
 	// enumerating, so repeated solves of the same network skip the
 	// walk entirely across processes. Implies Cache.
 	CacheDir string `json:"cacheDir,omitempty"`
+	// QueryTimeoutMs bounds the whole solve in milliseconds (0 =
+	// unbounded): enumeration workers and LP pivots poll the deadline,
+	// and an expired solve fails with an error satisfying
+	// errors.Is(err, context.DeadlineExceeded). The answer of a solve
+	// that finishes in time is identical with or without a timeout.
+	QueryTimeoutMs int64 `json:"queryTimeoutMs,omitempty"`
 
 	// cache is the per-solve memo instance when Cache is set.
 	cache *memo.Cache
@@ -150,7 +158,7 @@ func parseMetric(name string) (routing.Metric, error) {
 
 // queryPath resolves the query to a concrete link path, routing when
 // only endpoints are given.
-func (s *Spec) queryPath(net *topology.Network, m conflict.Model, background []core.Flow) (topology.Path, error) {
+func (s *Spec) queryPath(ctx context.Context, net *topology.Network, m conflict.Model, background []core.Flow) (topology.Path, error) {
 	if len(s.Query.Path) > 0 {
 		return nodePath(net, s.Query.Path)
 	}
@@ -165,7 +173,7 @@ func (s *Spec) queryPath(net *topology.Network, m conflict.Model, background []c
 			return nil, err
 		}
 	}
-	idle, err := routing.BackgroundIdleness(net, m, background, s.coreOptions())
+	idle, err := routing.BackgroundIdlenessContext(ctx, net, m, background, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +183,22 @@ func (s *Spec) queryPath(net *topology.Network, m conflict.Model, background []c
 // Solve answers the spec: exact available bandwidth (Eq. 6), the
 // delivering schedule, and all five distributed estimates.
 func Solve(s *Spec) (*Answer, error) {
+	return SolveContext(context.Background(), s)
+}
+
+// SolveContext is Solve under a context: ctx (tightened by the spec's
+// QueryTimeoutMs, if set) is threaded through routing, enumeration and
+// every LP, so cancellation stops the solve promptly. Canceled solves
+// never store or spill partial results.
+func SolveContext(ctx context.Context, s *Spec) (*Answer, error) {
+	if s.QueryTimeoutMs < 0 {
+		return nil, fmt.Errorf("netjson: queryTimeoutMs must be non-negative, got %d", s.QueryTimeoutMs)
+	}
+	if s.QueryTimeoutMs > 0 {
+		var cancelCtx context.CancelFunc
+		ctx, cancelCtx = context.WithTimeout(ctx, time.Duration(s.QueryTimeoutMs)*time.Millisecond)
+		defer cancelCtx()
+	}
 	if s.CacheBytes != 0 || s.CacheDir != "" {
 		s.Cache = true
 	}
@@ -197,7 +221,7 @@ func Solve(s *Spec) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	path, err := s.queryPath(net, m, background)
+	path, err := s.queryPath(ctx, net, m, background)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +233,7 @@ func Solve(s *Spec) (*Answer, error) {
 		PathNodes: nodeInts(nodes),
 		PathLinks: linkInts(path),
 	}
-	res, err := core.AvailableBandwidth(m, background, path, s.coreOptions())
+	res, err := core.AvailableBandwidthContext(ctx, m, background, path, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +252,7 @@ func Solve(s *Spec) (*Answer, error) {
 		ans.Schedule = append(ans.Schedule, sa)
 	}
 
-	sched, err := routing.BackgroundSchedule(m, background, s.coreOptions())
+	sched, err := routing.BackgroundScheduleContext(ctx, m, background, s.coreOptions())
 	if err != nil {
 		return nil, err
 	}

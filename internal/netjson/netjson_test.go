@@ -2,12 +2,16 @@ package netjson
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"abw/internal/cancel"
 )
 
 // chainSpec is a 5-node 100m chain with a 2 Mbps background flow on the
@@ -236,5 +240,40 @@ func TestCacheDirOpenErrorSurfaces(t *testing.T) {
 	spec.CacheDir = file
 	if _, err := Solve(spec); err == nil {
 		t.Error("Solve accepted a file as the cache directory")
+	}
+}
+
+// TestSolveContextCancellation pins the queryTimeoutMs plumbing: a
+// negative timeout is a spec error, a pre-cancelled context stops the
+// solve with ErrCanceled, and a generous timeout changes nothing about
+// the answer.
+func TestSolveContextCancellation(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(chainSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.QueryTimeoutMs = -1
+	if _, err := Solve(spec); err == nil || !strings.Contains(err.Error(), "queryTimeoutMs") {
+		t.Fatalf("negative timeout: err = %v, want a queryTimeoutMs spec error", err)
+	}
+
+	spec.QueryTimeoutMs = 0
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	cancelCtx()
+	if _, err := SolveContext(ctx, spec); !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("pre-cancelled solve: err = %v, want ErrCanceled", err)
+	}
+
+	ref, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.QueryTimeoutMs = 60_000
+	timed, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Bandwidth != ref.Bandwidth || timed.Feasible != ref.Feasible {
+		t.Fatalf("timeout changed the answer: %+v vs %+v", timed, ref)
 	}
 }

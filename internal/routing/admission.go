@@ -1,9 +1,12 @@
 package routing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"abw/internal/cancel"
 
 	"abw/internal/conflict"
 	"abw/internal/core"
@@ -56,6 +59,23 @@ func SequentialAdmission(
 	requests []Request,
 	opts AdmissionOptions,
 ) ([]Decision, error) {
+	return SequentialAdmissionContext(context.Background(), net, m, metric, requests, opts)
+}
+
+// SequentialAdmissionContext is SequentialAdmission under a context:
+// ctx is checked between admission steps and forwarded into each step's
+// enumeration and LP solves, so a cancelled run stops promptly with an
+// error satisfying errors.Is(err, cancel.ErrCanceled) alongside the
+// decisions completed so far. Admission state is only extended by fully
+// completed steps — cancellation never commits a half-evaluated flow.
+func SequentialAdmissionContext(
+	ctx context.Context,
+	net *topology.Network,
+	m conflict.Model,
+	metric Metric,
+	requests []Request,
+	opts AdmissionOptions,
+) ([]Decision, error) {
 	// A configured cache opts the run into session acceleration: set
 	// families, warm-started availability LPs and memoized feasibility
 	// verdicts persist across the admission steps. Answers are the same
@@ -67,7 +87,10 @@ func SequentialAdmission(
 	var admitted []core.Flow
 	decisions := make([]Decision, 0, len(requests))
 	for _, req := range requests {
-		dec, err := admitOne(net, m, metric, req, admitted, opts.Core, sess)
+		if ctx.Err() != nil {
+			return decisions, cancel.Cause(ctx)
+		}
+		dec, err := admitOne(ctx, net, m, metric, req, admitted, opts.Core, sess)
 		if err != nil {
 			return decisions, err
 		}
@@ -82,6 +105,7 @@ func SequentialAdmission(
 }
 
 func admitOne(
+	ctx context.Context,
 	net *topology.Network,
 	m conflict.Model,
 	metric Metric,
@@ -94,7 +118,7 @@ func admitOne(
 	if req.Demand <= 0 {
 		return dec, fmt.Errorf("routing: request demand must be positive, got %g", req.Demand)
 	}
-	idle, err := backgroundIdleness(net, m, admitted, coreOpts, sess)
+	idle, err := backgroundIdleness(ctx, net, m, admitted, coreOpts, sess)
 	if err != nil {
 		return dec, err
 	}
@@ -110,9 +134,9 @@ func admitOne(
 
 	var res *core.Result
 	if sess != nil {
-		res, err = sess.AvailableBandwidth(admitted, path)
+		res, err = sess.AvailableBandwidthContext(ctx, admitted, path)
 	} else {
-		res, err = core.AvailableBandwidth(m, admitted, path, coreOpts)
+		res, err = core.AvailableBandwidthContext(ctx, m, admitted, path, coreOpts)
 	}
 	if err != nil {
 		return dec, fmt.Errorf("routing: availability of %v: %w", path, err)
@@ -136,16 +160,23 @@ func admitOne(
 // and each node senses it. With no background, every node is fully
 // idle.
 func BackgroundIdleness(net *topology.Network, m conflict.Model, admitted []core.Flow, coreOpts core.Options) ([]float64, error) {
-	return backgroundIdleness(net, m, admitted, coreOpts, nil)
+	return backgroundIdleness(context.Background(), net, m, admitted, coreOpts, nil)
+}
+
+// BackgroundIdlenessContext is BackgroundIdleness under a context: the
+// feasibility enumeration and LP poll ctx and stop promptly on
+// cancellation.
+func BackgroundIdlenessContext(ctx context.Context, net *topology.Network, m conflict.Model, admitted []core.Flow, coreOpts core.Options) ([]float64, error) {
+	return backgroundIdleness(ctx, net, m, admitted, coreOpts, nil)
 }
 
 // backgroundIdleness is BackgroundIdleness optionally answering the
 // feasibility question through a session's memo.
-func backgroundIdleness(net *topology.Network, m conflict.Model, admitted []core.Flow, coreOpts core.Options, sess *core.Session) ([]float64, error) {
+func backgroundIdleness(ctx context.Context, net *topology.Network, m conflict.Model, admitted []core.Flow, coreOpts core.Options, sess *core.Session) ([]float64, error) {
 	if sess != nil {
 		// The session memoizes the whole schedule → idle-ratio pipeline
 		// by demand signature.
-		return sess.IdleRatios(net, admitted)
+		return sess.IdleRatiosContext(ctx, net, admitted)
 	}
 	if len(admitted) == 0 {
 		idle := make([]float64, net.NumNodes())
@@ -154,7 +185,7 @@ func backgroundIdleness(net *topology.Network, m conflict.Model, admitted []core
 		}
 		return idle, nil
 	}
-	ok, sched, err := core.FeasibleDemands(m, admitted, coreOpts)
+	ok, sched, err := core.FeasibleDemandsContext(ctx, m, admitted, coreOpts)
 	if err != nil {
 		return nil, fmt.Errorf("routing: background schedule: %w", err)
 	}
@@ -168,10 +199,16 @@ func backgroundIdleness(net *topology.Network, m conflict.Model, admitted []core
 // idleness, for callers that need the schedule itself (e.g. the Fig. 4
 // estimation experiment and the simulators).
 func BackgroundSchedule(m conflict.Model, admitted []core.Flow, coreOpts core.Options) (schedule.Schedule, error) {
+	return BackgroundScheduleContext(context.Background(), m, admitted, coreOpts)
+}
+
+// BackgroundScheduleContext is BackgroundSchedule under a context; see
+// BackgroundIdlenessContext.
+func BackgroundScheduleContext(ctx context.Context, m conflict.Model, admitted []core.Flow, coreOpts core.Options) (schedule.Schedule, error) {
 	if len(admitted) == 0 {
 		return schedule.Schedule{}, nil
 	}
-	ok, sched, err := core.FeasibleDemands(m, admitted, coreOpts)
+	ok, sched, err := core.FeasibleDemandsContext(ctx, m, admitted, coreOpts)
 	if err != nil {
 		return schedule.Schedule{}, fmt.Errorf("routing: background schedule: %w", err)
 	}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQueryDeadlineReapsHungComputation pins the -querytimeout
+// contract: a query whose computation hangs is reaped at the deadline
+// with 504 Gateway Timeout, and cheap requests keep flowing while it
+// hangs. The computeHook holds the slow query's computation until its
+// own context — carrying the per-request deadline — fires.
+func TestQueryDeadlineReapsHungComputation(t *testing.T) {
+	srv := New()
+	srv.SetQueryTimeout(150 * time.Millisecond)
+	entered := make(chan struct{}, 1)
+	srv.computeHook = func(ctx context.Context) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // hang until the deadline reaps us
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/network", chainNetworkBody)
+	if code != http.StatusOK {
+		t.Fatalf("install: %d %v", code, body)
+	}
+
+	type result struct {
+		code int
+		body string
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			bytes.NewBufferString(`{"src":0,"dst":4}`))
+		if err != nil {
+			slow <- result{code: -1, body: err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		slow <- result{code: resp.StatusCode, body: buf.String()}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow query never reached the compute stage")
+	}
+	// While the slow query hangs, a cheap request must still answer.
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/network", ""); code != http.StatusOK {
+		t.Fatalf("cheap request blocked behind hung query: %d", code)
+	}
+
+	select {
+	case res := <-slow:
+		if res.code != http.StatusGatewayTimeout {
+			t.Fatalf("hung query answered %d (%s), want 504", res.code, res.body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal([]byte(res.body), &eb); err != nil {
+			t.Fatalf("504 body is not the JSON error shape: %s", res.body)
+		}
+		if !strings.Contains(eb.Error, "deadline") {
+			t.Fatalf("504 error does not mention the deadline: %q", eb.Error)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung query was never reaped")
+	}
+}
+
+// TestClientDisconnectCancelsComputation pins the other cancellation
+// source: when the client abandons the request, the computation's
+// context fires even without a configured deadline — the handler
+// derives it from the request's.
+func TestClientDisconnectCancelsComputation(t *testing.T) {
+	srv := New()
+	entered := make(chan struct{}, 1)
+	reaped := make(chan struct{})
+	srv.computeHook = func(ctx context.Context) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		close(reaped)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/network", chainNetworkBody)
+	if code != http.StatusOK {
+		t.Fatalf("install: %d %v", code, body)
+	}
+
+	reqCtx, abandon := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost,
+		ts.URL+"/v1/query", bytes.NewBufferString(`{"src":0,"dst":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errs <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("query never reached the compute stage")
+	}
+	abandon()
+	if err := <-errs; err == nil {
+		t.Fatal("abandoned request unexpectedly completed")
+	}
+	select {
+	case <-reaped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client disconnect did not cancel the computation")
+	}
+}

@@ -22,13 +22,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"abw/internal/cancel"
 	"abw/internal/conflict"
 	"abw/internal/core"
 	"abw/internal/estimate"
@@ -56,14 +60,20 @@ type Server struct {
 	cache   *memo.Cache
 	sess    *core.Session
 
+	// queryTimeout bounds each request's computation (0 = unbounded).
+	// Handlers derive their context from the request's, so a client
+	// disconnect cancels the same way a deadline does.
+	queryTimeout time.Duration
+
 	// admitMu serializes admission decisions (snapshot → compute →
 	// commit) without blocking read-only queries on the state mutex.
 	admitMu sync.Mutex
 
 	// computeHook, when non-nil, runs at the start of every unlocked
-	// availability computation. Tests use it to hold queries in flight
-	// deterministically; production leaves it nil.
-	computeHook func()
+	// availability computation with that computation's context. Tests
+	// use it to hold queries in flight deterministically; production
+	// leaves it nil.
+	computeHook func(context.Context)
 }
 
 // coreOptions returns the core options every computation uses.
@@ -120,6 +130,44 @@ func New() *Server {
 // computation (see indepset.Options.Workers; 0 = automatic). Call
 // before serving requests.
 func (s *Server) SetWorkers(n int) { s.workers = n }
+
+// SetQueryTimeout bounds the computation of every request: contexts
+// derived from incoming requests gain the deadline, enumeration and LP
+// workers poll it, and a request that exceeds it answers 504 Gateway
+// Timeout. Zero (the default) leaves computations unbounded. Call
+// before serving requests.
+func (s *Server) SetQueryTimeout(d time.Duration) { s.queryTimeout = d }
+
+// queryContext derives the computation context for a request: the
+// request's own context (so a client disconnect cancels the work) plus
+// the configured per-request deadline, if any.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		return context.WithTimeout(ctx, s.queryTimeout)
+	}
+	return ctx, func() {}
+}
+
+// statusClientClosedRequest is nginx's conventional status for requests
+// abandoned by the client before a response was produced. The write
+// almost certainly goes nowhere — the client is gone — but keeps logs
+// and middleware honest about why the computation stopped.
+const statusClientClosedRequest = 499
+
+// writeComputeError maps a computation error to an HTTP answer:
+// deadline exceeded → 504, canceled by client disconnect → 499,
+// anything else → 500.
+func writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded: %v", err)
+	case errors.Is(err, cancel.ErrCanceled):
+		writeError(w, statusClientClosedRequest, "client closed request: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
 
 // SetCacheBytes enables the memo cache — set-family memoization, LP
 // warm-starting across queries, and the /v1/stats counters — with the
@@ -307,15 +355,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "no network installed")
 		return
 	}
+	ctx, cancelCtx := s.queryContext(r)
+	defer cancelCtx()
 	// Everything below runs unlocked: queries never block state access.
-	path, err := s.resolvePath(snap, req.Path, req.Src, req.Dst, req.Metric)
+	path, err := s.resolvePath(ctx, snap, req.Path, req.Src, req.Dst, req.Metric)
 	if err != nil {
+		if errors.Is(err, cancel.ErrCanceled) {
+			writeComputeError(w, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := s.availability(snap, path)
+	resp, err := s.availability(ctx, snap, path)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeComputeError(w, err)
 		return
 	}
 	if req.Demand > 0 {
@@ -374,14 +428,20 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "no network installed")
 			return
 		}
-		path, err := s.resolvePath(snap, nil, &req.Src, &req.Dst, req.Metric)
+		ctx, cancelCtx := s.queryContext(r)
+		defer cancelCtx()
+		path, err := s.resolvePath(ctx, snap, nil, &req.Src, &req.Dst, req.Metric)
 		if err != nil {
+			if errors.Is(err, cancel.ErrCanceled) {
+				writeComputeError(w, err)
+				return
+			}
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		avail, err := s.availability(snap, path)
+		avail, err := s.availability(ctx, snap, path)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeComputeError(w, err)
 			return
 		}
 		resp := flowResponse{Available: avail.Bandwidth}
@@ -453,9 +513,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "no network installed")
 		return
 	}
-	sched, err := s.backgroundSchedule(snap)
+	ctx, cancelCtx := s.queryContext(r)
+	defer cancelCtx()
+	sched, err := s.backgroundSchedule(ctx, snap)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeComputeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -502,9 +564,11 @@ func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The max-min LP cascade runs unlocked like every other computation.
-	alloc, _, err := core.MaxMinFair(model, flows, opts)
+	ctx, cancelCtx := s.queryContext(r)
+	defer cancelCtx()
+	alloc, _, err := core.MaxMinFairContext(ctx, model, flows, opts)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeComputeError(w, err)
 		return
 	}
 	out := make([]fairShareEntry, 0, len(alloc))
@@ -517,7 +581,7 @@ func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
 // resolvePath turns a query into a concrete path: either explicit node
 // IDs or a routed src/dst pair under the snapshot's background. Runs
 // without the state mutex.
-func (s *Server) resolvePath(snap *snapshot, nodeIDs []int, src, dst *int, metricName string) (topology.Path, error) {
+func (s *Server) resolvePath(ctx context.Context, snap *snapshot, nodeIDs []int, src, dst *int, metricName string) (topology.Path, error) {
 	if len(nodeIDs) > 0 {
 		nodes := make([]topology.NodeID, 0, len(nodeIDs))
 		for _, id := range nodeIDs {
@@ -542,7 +606,7 @@ func (s *Server) resolvePath(snap *snapshot, nodeIDs []int, src, dst *int, metri
 			return nil, fmt.Errorf("unknown metric %q", metricName)
 		}
 	}
-	idle, err := s.idleness(snap)
+	idle, err := s.idleness(ctx, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -551,24 +615,24 @@ func (s *Server) resolvePath(snap *snapshot, nodeIDs []int, src, dst *int, metri
 
 // idleness derives per-node idle ratios for the snapshot's background,
 // going through the session's memo when one is active.
-func (s *Server) idleness(snap *snapshot) ([]float64, error) {
+func (s *Server) idleness(ctx context.Context, snap *snapshot) ([]float64, error) {
 	if snap.sess != nil {
-		return snap.sess.IdleRatios(snap.net, snap.background)
+		return snap.sess.IdleRatiosContext(ctx, snap.net, snap.background)
 	}
-	return routing.BackgroundIdleness(snap.net, snap.model, snap.background, snap.opts)
+	return routing.BackgroundIdlenessContext(ctx, snap.net, snap.model, snap.background, snap.opts)
 }
 
 // backgroundSchedule returns the minimal-airtime schedule for the
 // snapshot's background, memoized through the session when one is
 // active.
-func (s *Server) backgroundSchedule(snap *snapshot) (schedule.Schedule, error) {
+func (s *Server) backgroundSchedule(ctx context.Context, snap *snapshot) (schedule.Schedule, error) {
 	if snap.sess == nil {
-		return routing.BackgroundSchedule(snap.model, snap.background, snap.opts)
+		return routing.BackgroundScheduleContext(ctx, snap.model, snap.background, snap.opts)
 	}
 	if len(snap.background) == 0 {
 		return schedule.Schedule{}, nil
 	}
-	ok, sched, err := snap.sess.FeasibleDemands(snap.background)
+	ok, sched, err := snap.sess.FeasibleDemandsContext(ctx, snap.background)
 	if err != nil {
 		return schedule.Schedule{}, fmt.Errorf("background schedule: %w", err)
 	}
@@ -581,9 +645,9 @@ func (s *Server) backgroundSchedule(snap *snapshot) (schedule.Schedule, error) {
 // availability computes exact availability and estimates for the path
 // against the snapshot's background. Runs without the state mutex, so
 // slow solves never block other requests.
-func (s *Server) availability(snap *snapshot, path topology.Path) (*queryResponse, error) {
+func (s *Server) availability(ctx context.Context, snap *snapshot, path topology.Path) (*queryResponse, error) {
 	if s.computeHook != nil {
-		s.computeHook()
+		s.computeHook(ctx)
 	}
 	nodes, err := snap.net.PathNodes(path)
 	if err != nil {
@@ -595,9 +659,9 @@ func (s *Server) availability(snap *snapshot, path topology.Path) (*queryRespons
 	}
 	var res *core.Result
 	if snap.sess != nil {
-		res, err = snap.sess.AvailableBandwidth(snap.background, path)
+		res, err = snap.sess.AvailableBandwidthContext(ctx, snap.background, path)
 	} else {
-		res, err = core.AvailableBandwidth(snap.model, snap.background, path, snap.opts)
+		res, err = core.AvailableBandwidthContext(ctx, snap.model, snap.background, path, snap.opts)
 	}
 	if err != nil {
 		return nil, err
@@ -606,7 +670,7 @@ func (s *Server) availability(snap *snapshot, path topology.Path) (*queryRespons
 		resp.Feasible = true
 		resp.Bandwidth = res.Bandwidth
 	}
-	sched, err := s.backgroundSchedule(snap)
+	sched, err := s.backgroundSchedule(ctx, snap)
 	if err != nil {
 		return nil, err
 	}

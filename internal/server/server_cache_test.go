@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -21,7 +22,7 @@ func TestParallelSlowQueriesDontBlockCheapRequests(t *testing.T) {
 	srv := New()
 	entered := make(chan struct{}, 4)
 	release := make(chan struct{})
-	srv.computeHook = func() {
+	srv.computeHook = func(context.Context) {
 		entered <- struct{}{}
 		<-release
 	}

@@ -6,7 +6,7 @@ TIER1_BENCH = ^(BenchmarkAvailableBandwidthQuery|BenchmarkEnumerateScenarioII|Be
 BENCH_COUNT ?= 5
 BENCH_JSON ?= BENCH_$(shell date -u +%Y-%m-%d).json
 
-.PHONY: all build test vet lint fuzz race bench bench-smoke bench-json bench-gate golden check e2e cover cover-gate
+.PHONY: all build test vet lint lint-fix vuln hooks fuzz race bench bench-smoke bench-json bench-gate golden check e2e cover cover-gate
 
 all: check
 
@@ -20,10 +20,15 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis (internal/lint via cmd/abwlint): the
-# DESIGN.md Sec. 8 determinism/numerics/concurrency invariants as
-# machine-checked rules. `abwlint -rules` lists them.
+# DESIGN.md Sec. 8 determinism/numerics/concurrency invariants plus the
+# interprocedural ctx/error/lock-guard rules of Sec. 13, over library
+# and _test.go code alike. `abwlint -list` names the rules; `make
+# lint-fix` applies the suggested fixes in place.
 lint:
 	$(GO) run ./cmd/abwlint ./...
+
+lint-fix:
+	$(GO) run ./cmd/abwlint -fix ./...
 
 # Bounded native fuzzing of the LP solver, the netjson codec, and the
 # memo cache (key fingerprint + on-disk family format); CI runs the
@@ -37,6 +42,18 @@ fuzz:
 
 test:
 	$(GO) test ./...
+
+# Known-CVE scan of the (stdlib-only) dependency surface, pinned so CI
+# and local runs agree on the database client. Gating in CI.
+GOVULNCHECK_VERSION ?= v1.1.4
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# Install scripts/precommit.sh as the git pre-commit hook: gofmt + vet
+# + abwlint over the packages the commit touches.
+hooks:
+	install -m 0755 scripts/precommit.sh .git/hooks/pre-commit
+	@echo "installed .git/hooks/pre-commit"
 
 race:
 	$(GO) test -race ./...

@@ -1,9 +1,13 @@
 // Command abwlint runs the repo-specific static analyzers of
 // internal/lint over the module:
 //
-//	abwlint ./...            # human-readable findings, exit 1 if any
-//	abwlint -json ./...      # machine-readable, sorted by file:line
-//	abwlint -rules           # list the rules and what they guard
+//	abwlint ./...                  # human-readable findings, exit 1 if any
+//	abwlint -json ./...            # machine-readable, sorted by file:line
+//	abwlint -list                  # list the rules and what they guard
+//	abwlint -rules abw/errflow ./...  # run a subset of the rules
+//	abwlint -tests=false ./...     # skip _test.go files (they lint by default)
+//	abwlint -diff ./...            # print suggested fixes as a unified diff
+//	abwlint -fix ./...             # apply suggested fixes, then re-lint
 //
 // Findings are suppressed case by case with
 // `//lint:ignore abw/<rule> <reason>` on (or directly above) the
@@ -19,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"abw/internal/lint"
 )
@@ -31,10 +36,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("abwlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
-	listRules := fs.Bool("rules", false, "list the analyzer rules and exit")
+	listRules := fs.Bool("list", false, "list the analyzer rules and exit")
+	ruleFilter := fs.String("rules", "", "comma-separated rules to run (abw/name or name); default all")
+	tests := fs.Bool("tests", true, "lint _test.go files too")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place, then re-lint")
+	diff := fs.Bool("diff", false, "print suggested fixes as a unified diff without writing")
 	dir := fs.String("C", "", "run as if launched from this directory")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: abwlint [-json] [-C dir] [patterns ...]\n")
+		fmt.Fprintf(stderr, "usage: abwlint [-json] [-C dir] [-tests=bool] [-rules list] [-fix|-diff] [patterns ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -50,21 +59,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *ruleFilter != "" {
+		var err error
+		analyzers, err = filterRules(analyzers, *ruleFilter)
+		if err != nil {
+			fmt.Fprintf(stderr, "abwlint: %v\n", err)
+			return 2
+		}
+	}
+	if *fix && *diff {
+		fmt.Fprintf(stderr, "abwlint: -fix and -diff are mutually exclusive\n")
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	loader := lint.NewLoader()
-	loader.Dir = *dir
-	pkgs, err := loader.Load(patterns...)
-	if err != nil {
-		fmt.Fprintf(stderr, "abwlint: %v\n", err)
-		return 2
+	lintOnce := func() ([]lint.Diagnostic, string, int) {
+		loader := lint.NewLoader()
+		loader.Dir = *dir
+		loader.Tests = *tests
+		pkgs, err := loader.Load(patterns...)
+		if err != nil {
+			fmt.Fprintf(stderr, "abwlint: %v\n", err)
+			return nil, "", 2
+		}
+		return lint.Run(pkgs, analyzers), loader.ModuleRoot(), 0
 	}
-	diags := lint.Run(pkgs, analyzers)
-	relativize(diags, loader.ModuleRoot())
+	diags, root, code := lintOnce()
+	if code != 0 {
+		return code
+	}
 
+	if *fix || *diff {
+		results, err := lint.ApplyFixes(diags, *diff)
+		if err != nil {
+			fmt.Fprintf(stderr, "abwlint: %v\n", err)
+			return 2
+		}
+		if *diff {
+			for _, r := range results {
+				writeDiff(stdout, relPath(r.File, root), r.Before, r.After)
+			}
+			return 0
+		}
+		applied, skipped := 0, 0
+		for _, r := range results {
+			applied += r.Applied
+			skipped += r.Skipped
+		}
+		fmt.Fprintf(stderr, "abwlint: applied %d fix(es) in %d file(s)", applied, len(results))
+		if skipped > 0 {
+			fmt.Fprintf(stderr, ", %d skipped (overlapping; rerun -fix)", skipped)
+		}
+		fmt.Fprintln(stderr)
+		// Re-lint so the exit code and output reflect the tree as fixed.
+		if diags, root, code = lintOnce(); code != 0 {
+			return code
+		}
+	}
+
+	relativize(diags, root)
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -89,6 +145,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// filterRules resolves a comma-separated rule list, accepting names
+// with or without the abw/ prefix; unknown names are a usage error.
+func filterRules(all []*lint.Analyzer, filter string) ([]*lint.Analyzer, error) {
+	byID := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byID[a.ID()] = a
+		byID[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byID[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		}
+		if !seen[a.ID()] {
+			seen[a.ID()] = true
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rules selected no rules")
+	}
+	return out, nil
+}
+
+func relPath(file, root string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// writeDiff emits a minimal unified diff between two versions of one
+// file: a single hunk per contiguous run of changed lines, computed by
+// trimming the common prefix and suffix — exact enough for the
+// line-local rewrites the rules suggest, with no quadratic diff cost.
+func writeDiff(w io.Writer, name string, before, after []byte) {
+	a := strings.SplitAfter(string(before), "\n")
+	b := strings.SplitAfter(string(after), "\n")
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(a)-pre && suf < len(b)-pre && a[len(a)-1-suf] == b[len(b)-1-suf] {
+		suf++
+	}
+	if pre == len(a) && pre == len(b) {
+		return // identical
+	}
+	fmt.Fprintf(w, "--- %s\n+++ %s\n", name, name)
+	fmt.Fprintf(w, "@@ -%d,%d +%d,%d @@\n", pre+1, len(a)-pre-suf, pre+1, len(b)-pre-suf)
+	for _, line := range a[pre : len(a)-suf] {
+		fmt.Fprintf(w, "-%s", ensureNL(line))
+	}
+	for _, line := range b[pre : len(b)-suf] {
+		fmt.Fprintf(w, "+%s", ensureNL(line))
+	}
+}
+
+func ensureNL(s string) string {
+	if strings.HasSuffix(s, "\n") {
+		return s
+	}
+	return s + "\n"
+}
+
 // relativize rewrites absolute file names relative to the module root
 // (forward slashes) so output is stable across checkouts. Relative
 // paths share the root prefix, so the sorted order is preserved; the
@@ -99,9 +230,7 @@ func relativize(diags []lint.Diagnostic, root string) {
 		return
 	}
 	for i := range diags {
-		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !filepath.IsAbs(rel) {
-			diags[i].File = filepath.ToSlash(rel)
-		}
+		diags[i].File = relPath(diags[i].File, root)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -150,14 +150,178 @@ func TestTextOutput(t *testing.T) {
 	}
 }
 
-func TestRulesFlag(t *testing.T) {
+func TestListFlag(t *testing.T) {
 	var out, errw bytes.Buffer
-	if code := run([]string{"-rules"}, &out, &errw); code != 0 {
-		t.Fatalf("-rules should exit 0, got %d", code)
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list should exit 0, got %d", code)
 	}
-	for _, rule := range []string{"abw/atomicfield", "abw/floateq", "abw/globalrand", "abw/maporder", "abw/timenow"} {
+	for _, rule := range []string{
+		"abw/atomicfield", "abw/ctxflow", "abw/errflow", "abw/floateq",
+		"abw/globalrand", "abw/lockguard", "abw/maporder", "abw/timenow",
+	} {
 		if !strings.Contains(out.String(), rule) {
-			t.Errorf("-rules output missing %s:\n%s", rule, out.String())
+			t.Errorf("-list output missing %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestRulesFilter(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":         "module fixturemod\n\ngo 1.22\n",
+		"dirty/dirty.go": dirtyPkg,
+		"b/b.go": `package b
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", dir, "-rules", "abw/timenow", "-json", "./..."}, &out, &errw); code != 1 {
+		t.Fatalf("want exit 1, got %d: %s", code, errw.String())
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0]["rule"] != "abw/timenow" {
+		t.Errorf("-rules abw/timenow ran other rules: %v", diags)
+	}
+
+	// The bare name and a duplicate both resolve to the same rule.
+	out.Reset()
+	if code := run([]string{"-C", dir, "-rules", "timenow,abw/timenow", "-json", "./..."}, &out, &errw); code != 1 {
+		t.Fatalf("bare-name filter: want exit 1, got %d", code)
+	}
+
+	// An unknown rule is a usage error.
+	if code := run([]string{"-C", dir, "-rules", "abw/nope", "./..."}, &out, &errw); code != 2 {
+		t.Fatalf("unknown rule: want exit 2, got %d", code)
+	}
+	if !strings.Contains(errw.String(), "unknown rule") {
+		t.Errorf("stderr missing unknown-rule message: %s", errw.String())
+	}
+}
+
+func TestTestsFlag(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc Two() int { return 2 }\n",
+		"a/a_test.go": `package a
+
+import "math/rand"
+
+func roll() int { return rand.Intn(6) }
+`,
+	})
+	var out, errw bytes.Buffer
+	// Test files lint by default.
+	if code := run([]string{"-C", dir, "./..."}, &out, &errw); code != 1 {
+		t.Fatalf("default run should see the _test.go finding, got exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "a/a_test.go") {
+		t.Errorf("finding not attributed to the test file:\n%s", out.String())
+	}
+	// -tests=false restores the production-only view.
+	out.Reset()
+	if code := run([]string{"-C", dir, "-tests=false", "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("-tests=false should exit 0, got %d: %s", code, out.String())
+	}
+}
+
+const fixableMod = `package e
+
+import "io"
+
+func IsEOF(err error) bool { return err == io.EOF }
+`
+
+func TestFixRoundTrip(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+		"e/e.go": fixableMod,
+	})
+	var out, errw bytes.Buffer
+	// -fix applies the rewrite and re-lints: the module is clean after,
+	// so the exit code is 0.
+	if code := run([]string{"-C", dir, "-fix", "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("-fix round trip: want exit 0, got %d\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(errw.String(), "applied 1 fix(es)") {
+		t.Errorf("stderr missing fix summary: %s", errw.String())
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "e", "e.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "errors.Is(err, io.EOF)") || !strings.Contains(string(src), `"errors"`) {
+		t.Errorf("fix not applied on disk:\n%s", src)
+	}
+	// A second run finds nothing fixable: zero findings, exit 0.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-C", dir, "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("re-lint after -fix: want exit 0, got %d: %s", code, out.String())
+	}
+}
+
+func TestDiffDoesNotWrite(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+		"e/e.go": fixableMod,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", dir, "-diff", "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("-diff: want exit 0, got %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"--- e/e.go", "+++ e/e.go", "@@ ", "errors.Is(err, io.EOF)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-diff output missing %q:\n%s", want, out.String())
+		}
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "e", "e.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(src) != fixableMod {
+		t.Errorf("-diff modified the file:\n%s", src)
+	}
+}
+
+func TestFixDiffExclusive(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-fix", "-diff"}, &out, &errw); code != 2 {
+		t.Fatalf("-fix -diff together: want exit 2, got %d", code)
+	}
+}
+
+// TestJSONFixField pins the fix field contract: present (with edits)
+// on fixable findings, absent otherwise.
+func TestJSONFixField(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":         "module fixturemod\n\ngo 1.22\n",
+		"e/e.go":         fixableMod,
+		"dirty/dirty.go": dirtyPkg,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", dir, "-json", "./..."}, &out, &errw); code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		_, hasFix := d["fix"]
+		switch d["rule"] {
+		case "abw/errflow":
+			if !hasFix {
+				t.Errorf("errflow finding missing fix field: %v", d)
+			}
+		case "abw/globalrand":
+			if hasFix {
+				t.Errorf("globalrand finding carries a fix field: %v", d)
+			}
 		}
 	}
 }

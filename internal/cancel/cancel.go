@@ -49,7 +49,8 @@ const DefaultInterval = 256
 // and never reports cancellation — NewChecker returns nil for contexts
 // that can never be cancelled, keeping context-free runs branch-light.
 type Checker struct {
-	done  <-chan struct{}
+	done <-chan struct{}
+	//lint:ignore abw/ctxflow the Checker IS the documented poll point for this ctx; it lives strictly inside the call that built it
 	ctx   context.Context
 	n     int
 	every int

@@ -226,6 +226,7 @@ func TestCliqueAccessors(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("Len = %d", c.Len())
 	}
+	//lint:ignore abw/floateq Rate returns the stored couple verbatim; bit-exact by construction
 	if c.Rate(7) != 18 || c.Rate(2) != 54 || c.Rate(5) != 0 {
 		t.Error("Rate lookups wrong")
 	}

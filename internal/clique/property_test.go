@@ -67,6 +67,7 @@ func TestMaximalCliquesPropertyPhysical(t *testing.T) {
 			for _, r := range m.Rates(l) {
 				found := false
 				for _, c := range cliques {
+					//lint:ignore abw/floateq cliques copy declared rates unmodified; exact membership test
 					if c.Rate(l) == r {
 						found = true
 						break

@@ -111,10 +111,17 @@ func UpperBoundLPContext(ctx context.Context, m conflict.Model, background []Flo
 // for a demonstration. Vectors are given as one couple per link of the
 // universe.
 func RestrictedUpperBoundLP(m conflict.Model, background []Flow, newPath topology.Path, vectors [][]conflict.Couple, opts Options) (*Result, error) {
+	return RestrictedUpperBoundLPContext(context.Background(), m, background, newPath, vectors, opts)
+}
+
+// RestrictedUpperBoundLPContext is RestrictedUpperBoundLP under a
+// context: the Eq. 9 simplex polls ctx between pivots; see
+// AvailableBandwidthContext.
+func RestrictedUpperBoundLPContext(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, vectors [][]conflict.Couple, opts Options) (*Result, error) {
 	if len(vectors) == 0 {
 		return nil, fmt.Errorf("core: no rate vectors supplied")
 	}
-	return upperBoundOverVectors(context.Background(), m, background, newPath, vectors, opts)
+	return upperBoundOverVectors(ctx, m, background, newPath, vectors, opts)
 }
 
 func upperBoundOverVectors(ctx context.Context, m conflict.Model, background []Flow, newPath topology.Path, vectors [][]conflict.Couple, opts Options) (*Result, error) {

@@ -403,6 +403,7 @@ func TestScenarioIIScheduleMatchesPaperStructure(t *testing.T) {
 	}
 	found := false
 	for _, slot := range res.Schedule.Slots {
+		//lint:ignore abw/floateq schedule slots carry the declared rate couples verbatim
 		if slot.Set.Rate(s.L1) == 36 && slot.Set.Rate(s.L4) == 54 {
 			found = true
 			break

@@ -47,9 +47,9 @@ type Session struct {
 	opts Options
 
 	mu    sync.Mutex
-	avail map[string]*availState
-	feas  map[string]feasResult
-	idle  map[string][]float64
+	avail map[string]*availState //guards: mu
+	feas  map[string]feasResult  //guards: mu
+	idle  map[string][]float64   //guards: mu
 }
 
 // NewSession wraps the model and options. The options' Cache (which

@@ -196,6 +196,7 @@ func TestSessionFeasibilityMemo(t *testing.T) {
 		if sched1.Slots[i].Set.Key() != sched2.Slots[i].Set.Key() {
 			t.Fatalf("memoized schedule set %d differs", i)
 		}
+		//lint:ignore abw/floateq the memo contract is BIT-identical replay, not approximate
 		if math.Abs(sched1.Slots[i].Share-sched2.Slots[i].Share) != 0 {
 			t.Fatalf("memoized schedule share %d differs", i)
 		}
@@ -207,6 +208,7 @@ func TestSessionFeasibilityMemo(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		//lint:ignore abw/floateq -1 is a sentinel this test just stored; exact compare intended
 		if len(sched3.Slots) > 0 && sched3.Slots[0].Share == -1 {
 			t.Fatal("caller mutation leaked into the memoized schedule")
 		}

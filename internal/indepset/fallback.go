@@ -37,7 +37,8 @@ func enumerateFallback(ctx context.Context, m conflict.Model, universe []topolog
 // fallbackEnum is the read-only state shared by every worker of one
 // brute-force enumeration.
 type fallbackEnum struct {
-	m        conflict.Model
+	m conflict.Model
+	//lint:ignore abw/ctxflow read-only per-enumeration worker state; lives strictly inside the Enumerate call that received ctx
 	ctx      context.Context
 	universe []topology.LinkID
 	budget   *budget

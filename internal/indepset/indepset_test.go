@@ -165,6 +165,7 @@ func TestEnumerateEmptyAndSilentLinks(t *testing.T) {
 
 func TestSetAccessors(t *testing.T) {
 	s := NewSet(conflict.Couple{Link: 5, Rate: 36}, conflict.Couple{Link: 2, Rate: 54})
+	//lint:ignore abw/floateq Rate returns the stored couple verbatim; bit-exact by construction
 	if s.Rate(2) != 54 || s.Rate(5) != 36 || s.Rate(9) != 0 {
 		t.Error("Rate lookups wrong")
 	}
@@ -175,6 +176,7 @@ func TestSetAccessors(t *testing.T) {
 		t.Errorf("Links = %v, want [2 5] (sorted)", got)
 	}
 	rv := s.RateVector([]topology.LinkID{2, 3, 5})
+	//lint:ignore abw/floateq RateVector copies stored couples; bit-exact by construction
 	if rv[0] != 54 || rv[1] != 0 || rv[2] != 36 {
 		t.Errorf("RateVector = %v", rv)
 	}
@@ -333,7 +335,7 @@ func TestEnumerateLimitBoundary(t *testing.T) {
 	if len(sets) > n-1 {
 		t.Fatalf("truncated run returned %d sets, limit was %d: %v", len(sets), n-1, keys(sets))
 	}
-	if _, err := Enumerate(tb, links, Options{Limit: n - 1}); err != ErrLimit {
+	if _, err := Enumerate(tb, links, Options{Limit: n - 1}); !errors.Is(err, ErrLimit) {
 		t.Fatalf("Enumerate with tripped limit: got err %v, want ErrLimit", err)
 	}
 

@@ -95,6 +95,7 @@ func enumeratePairwise(ctx context.Context, m conflict.PairwiseModel, universe [
 // pairwise enumeration: the universe, its declared positive rates, and
 // the precomputed clear-mask table.
 type pairwiseEnum struct {
+	//lint:ignore abw/ctxflow read-only per-enumeration worker state; lives strictly inside the Enumerate call that received ctx
 	ctx      context.Context
 	universe []topology.LinkID
 	rates    [][]radio.Rate

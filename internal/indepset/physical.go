@@ -60,7 +60,8 @@ func enumeratePhysical(ctx context.Context, m *conflict.Physical, universe []top
 // physicalEnum is the read-only state shared by every worker of one
 // physical enumeration.
 type physicalEnum struct {
-	m        *conflict.Physical
+	m *conflict.Physical
+	//lint:ignore abw/ctxflow read-only per-enumeration worker state; lives strictly inside the Enumerate call that received ctx
 	ctx      context.Context
 	universe []topology.LinkID
 	minRate  []radio.Rate

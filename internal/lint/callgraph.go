@@ -1,0 +1,179 @@
+// The interprocedural layer: a package-level call graph built from the
+// go/types loader (static calls and method sets only — no x/tools, no
+// pointer analysis) plus context-variant resolution. Rules that reason
+// across function boundaries (abw/ctxflow, abw/lockguard) share this
+// index instead of re-walking the files; it is built lazily, once per
+// package, and cached on the Package.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CallGraph indexes every function declared in one package: its
+// declaration, the static call sites in its body, and the reverse
+// caller edges within the package.
+type CallGraph struct {
+	// Funcs maps each declared function object to its node, and ByDecl
+	// the declaration to the same node.
+	Funcs  map[*types.Func]*FuncNode
+	ByDecl map[*ast.FuncDecl]*FuncNode
+}
+
+// FuncNode is one declared function with its intra-package edges.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	// Calls are the statically-resolved call sites in the body, in
+	// source order, including calls to functions outside the package.
+	Calls []CallSite
+	// Callers are the call sites within this package whose callee is
+	// this function.
+	Callers []CallSite
+}
+
+// CallSite is one statically-resolved call.
+type CallSite struct {
+	// Caller is the declared function whose body contains the call
+	// (never nil; calls in package-level var initializers are skipped).
+	Caller *FuncNode
+	// Callee is the resolved target; it may be declared in another
+	// package. Calls through function values resolve to nil and are not
+	// recorded.
+	Callee *types.Func
+	Call   *ast.CallExpr
+	// InFuncLit reports that the call sits inside a function literal
+	// nested in Caller — it may execute on a different goroutine or
+	// after Caller returns.
+	InFuncLit bool
+}
+
+// CallGraph returns the package's call graph, building it on first use.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.pkg.cg == nil {
+		p.pkg.cg = buildCallGraph(p)
+	}
+	return p.pkg.cg
+}
+
+func buildCallGraph(p *Pass) *CallGraph {
+	g := &CallGraph{
+		Funcs:  make(map[*types.Func]*FuncNode),
+		ByDecl: make(map[*ast.FuncDecl]*FuncNode),
+	}
+	// Pass 1: nodes for every declaration, so reverse edges can attach
+	// regardless of declaration order.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &FuncNode{Obj: obj, Decl: fd}
+			g.Funcs[obj] = n
+			g.ByDecl[fd] = n
+		}
+	}
+	// Pass 2: call sites and reverse edges.
+	for _, n := range g.ByDecl {
+		n := n
+		litDepth := 0
+		var walk func(ast.Node) bool
+		walk = func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				litDepth++
+				ast.Inspect(c.Body, walk)
+				litDepth--
+				return false
+			case *ast.CallExpr:
+				if callee := p.calleeFunc(c); callee != nil {
+					site := CallSite{Caller: n, Callee: callee, Call: c, InFuncLit: litDepth > 0}
+					n.Calls = append(n.Calls, site)
+					if target, ok := g.Funcs[callee]; ok {
+						target.Callers = append(target.Callers, site)
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(n.Decl.Body, walk)
+	}
+	return g
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParam returns the object of fn's context.Context parameter (by
+// convention the first), or nil.
+func ctxParamOf(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// takesContext reports whether fn's first parameter is a
+// context.Context.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+// ContextVariant resolves the context-accepting variant of fn: fn
+// itself when its first parameter is a context.Context, else a sibling
+// named fn.Name()+"Context" — a method on the same receiver type for
+// methods, a function in the same package otherwise — whose first
+// parameter is a context.Context. Returns nil when no variant exists.
+func ContextVariant(fn *types.Func) *types.Func {
+	if takesContext(fn) {
+		return fn
+	}
+	if strings.HasSuffix(fn.Name(), "Context") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	want := fn.Name() + "Context"
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		obj, _, _ := types.LookupFieldOrMethod(t, true, fn.Pkg(), want)
+		if m, ok := obj.(*types.Func); ok && takesContext(m) {
+			return m
+		}
+		return nil
+	}
+	if m, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok && takesContext(m) {
+		return m
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+const variantSrc = `package p
+
+import "context"
+
+func Step(n int) {}
+func StepContext(ctx context.Context, n int) {}
+func Plain(n int) {}
+func Already(ctx context.Context) {}
+func WrongFirst(n int, ctx context.Context) {}
+func WrongFirstContext(n int, ctx context.Context) {}
+
+type T struct{}
+
+func (T) Fetch() {}
+func (T) FetchContext(ctx context.Context) {}
+func (T) Solo() {}
+`
+
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("%s is %T, want *types.Func", name, obj)
+	}
+	return fn
+}
+
+func lookupMethod(t *testing.T, pkg *Package, typeName, method string) *types.Func {
+	t.Helper()
+	tn := pkg.Types.Scope().Lookup(typeName).Type()
+	obj, _, _ := types.LookupFieldOrMethod(tn, true, pkg.Types, method)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("%s.%s is %T, want *types.Func", typeName, method, obj)
+	}
+	return fn
+}
+
+func TestContextVariant(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/variant", variantSrc)
+
+	if got := ContextVariant(lookupFunc(t, pkg, "Step")); got == nil || got.Name() != "StepContext" {
+		t.Errorf("variant of Step = %v, want StepContext", got)
+	}
+	if got := ContextVariant(lookupFunc(t, pkg, "Plain")); got != nil {
+		t.Errorf("variant of Plain = %v, want nil", got)
+	}
+	// A function already taking a ctx is its own variant.
+	if fn := lookupFunc(t, pkg, "Already"); ContextVariant(fn) != fn {
+		t.Error("Already is not its own variant")
+	}
+	// A *Context-named function resolves no further.
+	if got := ContextVariant(lookupFunc(t, pkg, "StepContext")); got == nil || got.Name() != "StepContext" {
+		t.Errorf("variant of StepContext = %v", got)
+	}
+	// The sibling's first parameter must be the context.
+	if got := ContextVariant(lookupFunc(t, pkg, "WrongFirst")); got != nil {
+		t.Errorf("variant of WrongFirst = %v, want nil (ctx not first)", got)
+	}
+	// Methods resolve through the receiver's method set.
+	if got := ContextVariant(lookupMethod(t, pkg, "T", "Fetch")); got == nil || got.Name() != "FetchContext" {
+		t.Errorf("variant of T.Fetch = %v, want FetchContext", got)
+	}
+	if got := ContextVariant(lookupMethod(t, pkg, "T", "Solo")); got != nil {
+		t.Errorf("variant of T.Solo = %v, want nil", got)
+	}
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/cg", `package p
+
+func a() { b() }
+
+func b() { c(); go func() { c() }() }
+
+func c() {}
+`)
+	p := passFor(pkg)
+	cg := p.CallGraph()
+	if got := len(cg.Funcs); got != 3 {
+		t.Fatalf("Funcs = %d, want 3", got)
+	}
+	aFn := lookupFunc(t, pkg, "a")
+	bFn := lookupFunc(t, pkg, "b")
+	cFn := lookupFunc(t, pkg, "c")
+
+	aNode := cg.Funcs[aFn]
+	if len(aNode.Calls) != 1 || aNode.Calls[0].Callee != bFn {
+		t.Errorf("a's calls: %+v", aNode.Calls)
+	}
+	bNode := cg.Funcs[bFn]
+	if len(bNode.Callers) != 1 || bNode.Callers[0].Caller != aNode {
+		t.Errorf("b's callers: %+v", bNode.Callers)
+	}
+	// b calls c twice: once directly, once inside a function literal.
+	cNode := cg.Funcs[cFn]
+	if len(cNode.Callers) != 2 {
+		t.Fatalf("c has %d callers, want 2", len(cNode.Callers))
+	}
+	inLit := 0
+	for _, site := range cNode.Callers {
+		if site.Caller != bNode {
+			t.Errorf("c caller is %v, want b", site.Caller.Obj)
+		}
+		if site.InFuncLit {
+			inLit++
+		}
+	}
+	if inLit != 1 {
+		t.Errorf("%d call sites flagged InFuncLit, want 1", inLit)
+	}
+	// The graph is built once and cached on the package.
+	if p.CallGraph() != cg {
+		t.Error("CallGraph not cached")
+	}
+}

@@ -1,0 +1,233 @@
+// A small forward-dataflow engine over function bodies. Facts are
+// opaque strings a visitor adds and removes as the walk threads them
+// through statements in evaluation order; control-flow joins merge by
+// intersection, so a fact survives a join only when it holds on every
+// non-terminating path into it. That bias — drop facts rather than
+// invent them — makes the engine sound for "is the lock held here"
+// style questions: it may miss a held lock (a false finding the triage
+// waives with a reason) but never fabricates one.
+//
+// Deliberate simplifications, each conservative in that direction:
+//
+//   - loop bodies are analyzed once; facts after a loop are the
+//     intersection of the entry facts and the body's exit facts (the
+//     body may have run zero times);
+//   - break/continue/goto paths are treated as terminating, so they do
+//     not contribute facts to any join;
+//   - function literals are analyzed with no facts (a closure may run
+//     on another goroutine or after the function returns);
+//   - deferred calls are shown to the visitor under inDefer=true and
+//     their effects are otherwise ignored — `defer mu.Unlock()` keeps
+//     the lock held for the remainder of the body.
+package lint
+
+import "go/ast"
+
+// Facts is the fact set a forward walk threads through a body.
+type Facts map[string]bool
+
+func (f Facts) clone() Facts {
+	out := make(Facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect removes facts absent from other.
+func (f Facts) intersect(other Facts) {
+	for k := range f {
+		if !other[k] {
+			delete(f, k)
+		}
+	}
+}
+
+// flowVisit is invoked for every expression and statement node in
+// evaluation order with the facts holding just before it executes; it
+// may mutate the set. inDefer marks nodes inside a defer statement.
+type flowVisit func(n ast.Node, facts Facts, inDefer bool)
+
+// forwardFlow walks body threading entry through it, calling visit on
+// every node in evaluation order. It returns the facts at the body's
+// fall-through exit and whether every path through the body terminates
+// (returns or panics) before falling through.
+func forwardFlow(body *ast.BlockStmt, entry Facts, visit flowVisit) (Facts, bool) {
+	w := &flowWalker{visit: visit}
+	out, term := w.stmts(body.List, entry)
+	return out, term
+}
+
+type flowWalker struct {
+	visit flowVisit
+}
+
+func (w *flowWalker) stmts(list []ast.Stmt, f Facts) (Facts, bool) {
+	for _, s := range list {
+		var term bool
+		f, term = w.stmt(s, f)
+		if term {
+			return f, true
+		}
+	}
+	return f, false
+}
+
+// expr shows every node of e (except nested function literal bodies) to
+// the visitor, in source order — a close enough stand-in for evaluation
+// order at the granularity facts change here.
+func (w *flowWalker) expr(e ast.Node, f Facts, inDefer bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.visit(lit, f, inDefer)
+			// Closures run with no inherited facts.
+			w.stmts(lit.Body.List, make(Facts))
+			return false
+		}
+		w.visit(n, f, inDefer)
+		return true
+	})
+}
+
+// stmt threads f through s, returning the facts at its fall-through
+// exit and whether the statement terminates every path through it.
+func (w *flowWalker) stmt(s ast.Stmt, f Facts) (Facts, bool) {
+	switch s := s.(type) {
+	case nil:
+		return f, false
+	case *ast.BlockStmt:
+		return w.stmts(s.List, f)
+	case *ast.ReturnStmt:
+		w.expr(s, f, false)
+		return f, true
+	case *ast.BranchStmt:
+		// break/continue/goto: the path leaves this join structure;
+		// treating it as terminating keeps its facts out of merges.
+		return f, true
+	case *ast.DeferStmt:
+		w.expr(s.Call, f, true)
+		return f, false
+	case *ast.IfStmt:
+		f, _ = w.stmt(s.Init, f)
+		w.expr(s.Cond, f, false)
+		thenF, thenTerm := w.stmts(s.Body.List, f.clone())
+		elseF, elseTerm := f.clone(), false
+		if s.Else != nil {
+			elseF, elseTerm = w.stmt(s.Else, f.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return f, true
+		case thenTerm:
+			return elseF, false
+		case elseTerm:
+			return thenF, false
+		default:
+			thenF.intersect(elseF)
+			return thenF, false
+		}
+	case *ast.ForStmt:
+		f, _ = w.stmt(s.Init, f)
+		w.expr(s.Cond, f, false)
+		bodyF, _ := w.stmts(s.Body.List, f.clone())
+		w.stmt(s.Post, bodyF)
+		// The body may run zero times: keep only facts that hold both
+		// before the loop and at the body's exit. An unconditional
+		// `for {}` only leaves via break/return, but modeling that
+		// buys nothing here.
+		out := f.clone()
+		out.intersect(bodyF)
+		return out, false
+	case *ast.RangeStmt:
+		w.expr(s.X, f, false)
+		bodyF, _ := w.stmts(s.Body.List, f.clone())
+		out := f.clone()
+		out.intersect(bodyF)
+		return out, false
+	case *ast.SwitchStmt:
+		f, _ = w.stmt(s.Init, f)
+		w.expr(s.Tag, f, false)
+		return w.caseJoin(s.Body.List, f, hasDefaultCase(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		f, _ = w.stmt(s.Init, f)
+		w.stmt(s.Assign, f)
+		return w.caseJoin(s.Body.List, f, hasDefaultCase(s.Body.List))
+	case *ast.SelectStmt:
+		// A select always takes exactly one arm.
+		return w.caseJoin(s.Body.List, f, true)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, f)
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: its body sees no facts, and
+		// it changes none here.
+		w.expr(s.Call, make(Facts), false)
+		return f, false
+	case *ast.ExprStmt:
+		w.expr(s.X, f, false)
+		return f, false
+	default:
+		// Assignments, declarations, sends, inc/dec: linear statements
+		// whose nested expressions the visitor sees in order.
+		w.expr(s, f, false)
+		return f, false
+	}
+}
+
+// caseJoin threads f through each case clause independently and merges
+// the fall-through exits by intersection. Without a default case the
+// entry facts join too (no clause may match).
+func (w *flowWalker) caseJoin(clauses []ast.Stmt, f Facts, exhaustive bool) (Facts, bool) {
+	var out Facts
+	allTerm := true
+	join := func(g Facts) {
+		allTerm = false
+		if out == nil {
+			out = g
+		} else {
+			out.intersect(g)
+		}
+	}
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, f, false)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, f.clone())
+			}
+			body = c.Body
+		default:
+			continue
+		}
+		g, term := w.stmts(body, f.clone())
+		if !term {
+			join(g)
+		}
+	}
+	if !exhaustive {
+		join(f.clone())
+	}
+	if out == nil {
+		return f, allTerm && len(clauses) > 0
+	}
+	return out, false
+}
+
+func hasDefaultCase(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}

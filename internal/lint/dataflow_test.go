@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// flowProbes runs forwardFlow over a function body given as source.
+// Calls to set()/del() add and remove the single fact "x"; calls to
+// probeN() record whether "x" holds at that point. Returns probe name
+// -> held.
+func flowProbes(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(token.NewFileSet(), "flow.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing probe body: %v\n%s", err, src)
+	}
+	var fd *ast.FuncDecl
+	for _, d := range file.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "f" {
+			fd = x
+		}
+	}
+	probes := make(map[string]bool)
+	forwardFlow(fd.Body, make(Facts), func(n ast.Node, facts Facts, inDefer bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch {
+		case id.Name == "set" && !inDefer:
+			facts["x"] = true
+		case id.Name == "del" && !inDefer:
+			delete(facts, "x")
+		case strings.HasPrefix(id.Name, "probe"):
+			probes[id.Name] = facts["x"]
+		}
+	})
+	return probes
+}
+
+func TestForwardFlow(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want map[string]bool
+	}{
+		{"linear", "set()\nprobe1()", map[string]bool{"probe1": true}},
+		{"delete", "set()\ndel()\nprobe1()", map[string]bool{"probe1": false}},
+		{"ifOneArm", "if c {\nset()\n}\nprobe1()", map[string]bool{"probe1": false}},
+		{"ifBothArms", "if c {\nset()\n} else {\nset()\n}\nprobe1()", map[string]bool{"probe1": true}},
+		{"terminatingArmDropped", "set()\nif c {\ndel()\nreturn\n}\nprobe1()", map[string]bool{"probe1": true}},
+		{"deferEffectIgnored", "set()\ndefer del()\nprobe1()", map[string]bool{"probe1": true}},
+		{"loopEntrySeen", "set()\nfor c {\nprobe1()\n}\nprobe2()", map[string]bool{"probe1": true, "probe2": true}},
+		{"loopBodyNotAssumed", "for i := 0; i < 2; i++ {\nset()\n}\nprobe1()", map[string]bool{"probe1": false}},
+		{"loopBodyDelPersists", "set()\nfor range xs {\ndel()\n}\nprobe1()", map[string]bool{"probe1": false}},
+		{"breakIsTerminal", "for {\nif c {\nbreak\n}\nset()\n}\nprobe1()", map[string]bool{"probe1": false}},
+		{"switchNoDefault", "switch v {\ncase 1:\nset()\n}\nprobe1()", map[string]bool{"probe1": false}},
+		{"switchWithDefault", "switch v {\ncase 1:\nset()\ndefault:\nset()\n}\nprobe1()", map[string]bool{"probe1": true}},
+		{"selectAllArms", "select {\ncase <-ch:\nset()\ncase <-ch2:\nset()\n}\nprobe1()", map[string]bool{"probe1": true}},
+		{"selectOneArm", "select {\ncase <-ch:\nset()\ncase <-ch2:\n}\nprobe1()", map[string]bool{"probe1": false}},
+		{"closureSeesNothing", "set()\ng := func() {\nprobe1()\n}\ng()\nprobe2()", map[string]bool{"probe1": false, "probe2": true}},
+		{"goroutineSeesNothing", "set()\ngo func() {\nprobe1()\n}()\nprobe2()", map[string]bool{"probe1": false, "probe2": true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := flowProbes(t, tt.body)
+			for probe, want := range tt.want {
+				held, seen := got[probe]
+				if !seen {
+					t.Errorf("%s never visited", probe)
+					continue
+				}
+				if held != want {
+					t.Errorf("%s: fact held = %v, want %v", probe, held, want)
+				}
+			}
+		})
+	}
+}
+
+func TestForwardFlowTermination(t *testing.T) {
+	src := "package p\n\nfunc f() {\nreturn\n}\n"
+	file, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	_, term := forwardFlow(fd.Body, make(Facts), func(ast.Node, Facts, bool) {})
+	if !term {
+		t.Error("body ending in return not reported as terminating")
+	}
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrflow guards the typed-sentinel discipline PR 7 introduced
+// (cancel.ErrCanceled vs indepset.ErrLimit vs context.DeadlineExceeded):
+// the cancellation layer deliberately wraps causes — Cause() returns
+// `fmt.Errorf("%w: %w", ...)` — so identity comparison against a
+// sentinel is not merely style, it is wrong: `err == ErrCanceled` is
+// false for every error the query path actually returns. Two checks:
+//
+//  1. `==`/`!=` between error-typed operands (nil excluded) must be
+//     errors.Is — the fix rewrites the comparison and adds the errors
+//     import if missing;
+//  2. fmt.Errorf with an error operand must wrap with %w, or the
+//     sentinel identity is lost at that hop — the fix rewrites the verb.
+var AnalyzerErrflow = &Analyzer{
+	Name: "errflow",
+	Doc: "error identity lost: ==/!= between errors (use errors.Is so wrapped " +
+		"sentinels like ErrCanceled still match) or fmt.Errorf formatting an " +
+		"error without %w (guards the typed-sentinel discipline of Sec. 12)",
+	Run: runErrflow,
+}
+
+func runErrflow(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				p.checkErrCompare(n)
+			case *ast.CallExpr:
+				p.checkErrorfWrap(n)
+			}
+			return true
+		})
+	}
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorExpr(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errorType)
+}
+
+func isNilExpr(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// checkErrCompare flags err ==/!= sentinel and suggests errors.Is.
+func (p *Pass) checkErrCompare(be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isNilExpr(p, be.X) || isNilExpr(p, be.Y) {
+		return // err != nil is the idiom, not a finding
+	}
+	if !isErrorExpr(p, be.X) || !isErrorExpr(p, be.Y) {
+		return
+	}
+	not := ""
+	if be.Op == token.NEQ {
+		not = "!"
+	}
+	rewrite := fmt.Sprintf("%serrors.Is(%s, %s)", not, exprText(p, be.X), exprText(p, be.Y))
+	fix := &Fix{
+		Message: "compare with errors.Is",
+		Edits:   []TextEdit{p.Edit(be.Pos(), be.End(), rewrite)},
+	}
+	if imp := p.EnsureImport(be.Pos(), "errors"); imp != nil {
+		fix.Edits = append(fix.Edits, *imp)
+	}
+	p.ReportFix(be.OpPos, fix, "%s on errors misses wrapped sentinels (cancel.Cause wraps every cause); use %serrors.Is", be.Op, not)
+}
+
+// exprText renders e from the original source so the fix preserves the
+// author's spelling exactly.
+func exprText(p *Pass, e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// checkErrorfWrap flags fmt.Errorf("... %v ...", err): formatting an
+// error with any verb but %w strips its identity at that hop.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs, ok := parseVerbs(format)
+	if !ok || len(verbs) != len(call.Args)-1 {
+		return // indexed/star verbs or mismatched arity: stay silent
+	}
+	formatPos := call.Args[0].Pos()
+	for i, v := range verbs {
+		arg := call.Args[i+1]
+		if v.verb == 'w' || !isErrorExpr(p, arg) {
+			continue
+		}
+		// The verb's byte range within the string literal: the literal
+		// includes its opening quote, so offset+1 skips it. Only plain
+		// (non-raw, non-escaped-prefix) literals line up byte-for-byte;
+		// anything else gets the finding without the fix.
+		var fix *Fix
+		if lit, okLit := ast.Unparen(call.Args[0]).(*ast.BasicLit); okLit && isPlainStringLit(lit, format) {
+			start := p.Fset.Position(formatPos).Offset + 1 + v.start
+			end := p.Fset.Position(formatPos).Offset + 1 + v.end
+			fix = &Fix{
+				Message: "wrap the error with %w",
+				Edits:   []TextEdit{{Offset: start, End: end, NewText: "%w"}},
+			}
+		}
+		p.ReportFix(arg.Pos(), fix, "fmt.Errorf formats an error with %%%c, dropping its identity; wrap with %%w so errors.Is still sees the sentinel", v.verb)
+	}
+}
+
+// isPlainStringLit reports whether lit is a double-quoted literal whose
+// quoted bytes equal its value byte-for-byte (no escapes), so value
+// offsets map directly onto source offsets.
+func isPlainStringLit(lit *ast.BasicLit, value string) bool {
+	return lit.Kind == token.STRING && lit.Value == `"`+value+`"`
+}
+
+// verbSpan is one formatting verb: its final verb character and the
+// byte range of the whole %-sequence within the format string.
+type verbSpan struct {
+	verb       byte
+	start, end int
+}
+
+// parseVerbs scans a Printf format string into its verb sequence. It
+// reports ok=false on constructs whose argument mapping is not a plain
+// left-to-right walk (explicit argument indexes, * width/precision).
+func parseVerbs(format string) ([]verbSpan, bool) {
+	var out []verbSpan
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		start := i
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		c := format[i]
+		if c == '*' || c == '[' {
+			return nil, false
+		}
+		i++
+		out = append(out, verbSpan{verb: c, start: start, end: i})
+	}
+	return out, true
+}

@@ -1,0 +1,239 @@
+// The suggested-fix engine. Rules attach a Fix — a set of byte-offset
+// textual edits confined to the diagnostic's file — to a finding;
+// ApplyFixes groups the edits per file, applies them in one pass, and
+// re-parses the result before anything touches disk, so a bad edit can
+// never leave a file unparsable. Writes are temp+rename, atomic per
+// file. The abwlint driver exposes the engine as -fix (rewrite in
+// place) and -diff (print the rewrite as a unified diff).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Fix is one suggested rewrite. Every edit must lie in the file of the
+// diagnostic carrying the fix.
+type Fix struct {
+	// Message describes the rewrite ("use errors.Is").
+	Message string `json:"message"`
+	// Edits are the byte-offset replacements, non-overlapping.
+	Edits []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces the bytes [Offset, End) of the diagnostic's file
+// with NewText.
+type TextEdit struct {
+	Offset  int    `json:"offset"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// Edit builds a TextEdit replacing the source range [pos, end).
+func (p *Pass) Edit(pos, end token.Pos, newText string) TextEdit {
+	return TextEdit{
+		Offset:  p.Fset.Position(pos).Offset,
+		End:     p.Fset.Position(end).Offset,
+		NewText: newText,
+	}
+}
+
+// FixResult describes one file ApplyFixes rewrote (or would rewrite).
+type FixResult struct {
+	// File is the file's path as it appeared in the diagnostics.
+	File string
+	// Applied counts the fixes applied; Skipped counts fixes dropped
+	// because they overlapped an already-accepted edit.
+	Applied, Skipped int
+	// Before and After are the file's contents around the rewrite.
+	Before, After []byte
+}
+
+// ApplyFixes collects every diagnostic carrying a fix, applies the
+// fixes file by file, and — unless dryRun — writes each changed file
+// atomically (temp file + rename). A rewrite that no longer parses
+// fails that file without touching it. Overlapping fixes are applied
+// first-come in diagnostic order; later conflicting fixes are counted
+// as skipped and left for a second abwlint -fix pass. Identical
+// duplicate edits (two findings demanding the same import, say)
+// collapse. Results are sorted by file.
+func ApplyFixes(diags []Diagnostic, dryRun bool) ([]FixResult, error) {
+	byFile := make(map[string][]*Fix)
+	for i := range diags {
+		if diags[i].Fix != nil {
+			byFile[diags[i].File] = append(byFile[diags[i].File], diags[i].Fix)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []FixResult
+	for _, file := range files {
+		res, err := applyFileFixes(file, byFile[file], dryRun)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func applyFileFixes(file string, fixes []*Fix, dryRun bool) (FixResult, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return FixResult{File: file}, err
+	}
+	res := FixResult{File: file, Before: src}
+
+	// Accept fixes greedily in diagnostic order, rejecting any fix with
+	// an edit that overlaps an already-accepted edit (identical edits
+	// collapse instead). Edits are then applied back to front so
+	// earlier offsets stay valid.
+	type span struct {
+		TextEdit
+	}
+	var accepted []span
+	overlaps := func(e TextEdit) (dup, clash bool) {
+		for _, a := range accepted {
+			if a.TextEdit == e {
+				return true, false
+			}
+			if e.Offset < a.End && a.Offset < e.End {
+				return false, true
+			}
+		}
+		return false, false
+	}
+	for _, fx := range fixes {
+		ok := true
+		var fresh []TextEdit
+		for _, e := range fx.Edits {
+			if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+				ok = false
+				break
+			}
+			dup, clash := overlaps(e)
+			if clash {
+				ok = false
+				break
+			}
+			if !dup {
+				fresh = append(fresh, e)
+			}
+		}
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		for _, e := range fresh {
+			accepted = append(accepted, span{e})
+		}
+		res.Applied++
+	}
+	if len(accepted) == 0 {
+		res.After = src
+		return res, nil
+	}
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i].Offset > accepted[j].Offset })
+	buf := append([]byte{}, src...)
+	for _, e := range accepted {
+		buf = append(buf[:e.Offset], append([]byte(e.NewText), buf[e.End:]...)...)
+	}
+	// The gate before anything reaches disk: the rewritten file must
+	// still parse.
+	if _, err := parser.ParseFile(token.NewFileSet(), file, buf, parser.ParseComments); err != nil {
+		return res, fmt.Errorf("lint: fix for %s produces unparsable Go (not written): %w", file, err)
+	}
+	res.After = buf
+	if dryRun {
+		return res, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(file), ".abwlint-fix-*")
+	if err != nil {
+		return res, err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return res, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return res, err
+	}
+	if info, err := os.Stat(file); err == nil {
+		os.Chmod(tmpName, info.Mode())
+	}
+	if err := os.Rename(tmpName, file); err != nil {
+		os.Remove(tmpName)
+		return res, err
+	}
+	return res, nil
+}
+
+// EnsureImport returns an edit adding an unaliased import of path to
+// the file containing pos, or nil when the file already imports path.
+// The edit handles grouped imports, single imports, and files with no
+// import declaration at all.
+func (p *Pass) EnsureImport(pos token.Pos, path string) *TextEdit {
+	f := p.FileOf(pos)
+	if f == nil {
+		return nil
+	}
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return nil
+		}
+	}
+	quoted := `"` + path + `"`
+	// Prefer extending the first grouped import declaration.
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			// Insert in sorted position so gofmt is a no-op on the result:
+			// before the first path that sorts after the new one, else
+			// after the last spec. (With mixed stdlib/module groups this
+			// can land in the "wrong" block, which is cosmetic only.)
+			for _, s := range gd.Specs {
+				is := s.(*ast.ImportSpec)
+				if is.Path.Value > quoted {
+					off := p.Fset.Position(is.Pos()).Offset
+					return &TextEdit{Offset: off, End: off, NewText: quoted + "\n\t"}
+				}
+			}
+			if n := len(gd.Specs); n > 0 {
+				off := p.Fset.Position(gd.Specs[n-1].End()).Offset
+				return &TextEdit{Offset: off, End: off, NewText: "\n\t" + quoted}
+			}
+			off := p.Fset.Position(gd.Lparen).Offset + 1
+			return &TextEdit{Offset: off, End: off, NewText: "\n\t" + quoted}
+		}
+		// Single import: turn `import "x"` into a group.
+		if len(gd.Specs) == 1 {
+			spec := gd.Specs[0].(*ast.ImportSpec)
+			start := p.Fset.Position(spec.Pos()).Offset
+			end := p.Fset.Position(spec.End()).Offset
+			existing := spec.Path.Value
+			if spec.Name != nil {
+				existing = spec.Name.Name + " " + existing
+			}
+			return &TextEdit{Offset: start, End: end,
+				NewText: "(\n\t" + quoted + "\n\t" + existing + "\n)"}
+		}
+	}
+	// No import declaration: insert one after the package clause.
+	off := p.Fset.Position(f.Name.End()).Offset
+	return &TextEdit{Offset: off, End: off, NewText: "\n\nimport " + quoted}
+}

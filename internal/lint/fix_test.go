@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixFile materializes src as a one-file package and returns its path.
+func fixFile(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixDiag(file string, fix *Fix) Diagnostic {
+	return Diagnostic{Rule: "abw/test", File: file, Line: 1, Col: 1, Message: "test", Fix: fix}
+}
+
+func TestApplyFixesRewrites(t *testing.T) {
+	src := "package p\n\nvar x = 1\n"
+	path := fixFile(t, src)
+	off := strings.Index(src, "1")
+	fix := &Fix{Message: "bump", Edits: []TextEdit{{Offset: off, End: off + 1, NewText: "2"}}}
+	res, err := ApplyFixes([]Diagnostic{fixDiag(path, fix)}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Applied != 1 || res[0].Skipped != 0 {
+		t.Fatalf("results = %+v", res)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "package p\n\nvar x = 2\n" {
+		t.Errorf("file after fix:\n%s", got)
+	}
+}
+
+func TestApplyFixesDryRun(t *testing.T) {
+	src := "package p\n\nvar x = 1\n"
+	path := fixFile(t, src)
+	off := strings.Index(src, "1")
+	fix := &Fix{Edits: []TextEdit{{Offset: off, End: off + 1, NewText: "2"}}}
+	res, err := ApplyFixes([]Diagnostic{fixDiag(path, fix)}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res[0].After) != "package p\n\nvar x = 2\n" {
+		t.Errorf("dry-run After:\n%s", res[0].After)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != src {
+		t.Errorf("dry run wrote to disk:\n%s", got)
+	}
+}
+
+func TestApplyFixesOverlapSkipsSecond(t *testing.T) {
+	src := "package p\n\nvar x = 10\n"
+	path := fixFile(t, src)
+	off := strings.Index(src, "10")
+	a := &Fix{Edits: []TextEdit{{Offset: off, End: off + 2, NewText: "20"}}}
+	b := &Fix{Edits: []TextEdit{{Offset: off + 1, End: off + 2, NewText: "9"}}}
+	res, err := ApplyFixes([]Diagnostic{fixDiag(path, a), fixDiag(path, b)}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Applied != 1 || res[0].Skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 1/1", res[0].Applied, res[0].Skipped)
+	}
+	got, _ := os.ReadFile(path)
+	if !strings.Contains(string(got), "x = 20") {
+		t.Errorf("first fix not applied:\n%s", got)
+	}
+}
+
+func TestApplyFixesDuplicateEditsCollapse(t *testing.T) {
+	src := "package p\n\nvar x = 1\n"
+	path := fixFile(t, src)
+	off := strings.Index(src, "1")
+	edit := TextEdit{Offset: off, End: off + 1, NewText: "2"}
+	a := &Fix{Edits: []TextEdit{edit}}
+	b := &Fix{Edits: []TextEdit{edit}}
+	res, err := ApplyFixes([]Diagnostic{fixDiag(path, a), fixDiag(path, b)}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both fixes count as applied; the identical edit lands once.
+	if res[0].Applied != 2 || res[0].Skipped != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 2/0", res[0].Applied, res[0].Skipped)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "package p\n\nvar x = 2\n" {
+		t.Errorf("file after duplicate fixes:\n%s", got)
+	}
+}
+
+func TestApplyFixesUnparsableNotWritten(t *testing.T) {
+	src := "package p\n\nvar x = 1\n"
+	path := fixFile(t, src)
+	off := strings.Index(src, "var")
+	fix := &Fix{Edits: []TextEdit{{Offset: off, End: off + 3, NewText: "}{"}}}
+	if _, err := ApplyFixes([]Diagnostic{fixDiag(path, fix)}, false); err == nil {
+		t.Fatal("unparsable rewrite did not error")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != src {
+		t.Errorf("unparsable rewrite reached disk:\n%s", got)
+	}
+}
+
+// passFor wraps a loaded package in a Pass the way runOne does, for
+// tests that exercise Pass helpers directly.
+func passFor(pkg *Package) *Pass {
+	return &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, pkg: pkg}
+}
+
+// applyEdit applies a single TextEdit to the package's only file and
+// returns the result.
+func applyEdit(t *testing.T, pkg *Package, e *TextEdit) string {
+	t.Helper()
+	if e == nil {
+		t.Fatal("nil edit")
+	}
+	src, err := os.ReadFile(filepath.Join(pkg.Dir, "x.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src[:e.Offset]) + e.NewText + string(src[e.End:])
+}
+
+func TestEnsureImportGroupedSorted(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/impgroup", `package p
+
+import (
+	"fmt"
+	"os"
+)
+
+func f() { fmt.Println(os.Args) }
+`)
+	p := passFor(pkg)
+	e := p.EnsureImport(pkg.Files[0].Pos(), "errors")
+	got := applyEdit(t, pkg, e)
+	if !strings.Contains(got, "import (\n\t\"errors\"\n\t\"fmt\"\n\t\"os\"\n)") {
+		t.Errorf("errors not inserted in sorted position:\n%s", got)
+	}
+}
+
+func TestEnsureImportGroupedAppendsLast(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/implast", `package p
+
+import (
+	"fmt"
+)
+
+func f() { fmt.Println() }
+`)
+	p := passFor(pkg)
+	e := p.EnsureImport(pkg.Files[0].Pos(), "sort")
+	got := applyEdit(t, pkg, e)
+	if !strings.Contains(got, "\"fmt\"\n\t\"sort\"") {
+		t.Errorf("sort not appended after fmt:\n%s", got)
+	}
+}
+
+func TestEnsureImportSingle(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/impsingle", `package p
+
+import "fmt"
+
+func f() { fmt.Println() }
+`)
+	p := passFor(pkg)
+	e := p.EnsureImport(pkg.Files[0].Pos(), "errors")
+	got := applyEdit(t, pkg, e)
+	if !strings.Contains(got, "import (\n\t\"errors\"\n\t\"fmt\"\n)") {
+		t.Errorf("single import not wrapped into a sorted group:\n%s", got)
+	}
+}
+
+func TestEnsureImportNone(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/impnone", `package p
+
+func f() int { return 1 }
+`)
+	p := passFor(pkg)
+	e := p.EnsureImport(pkg.Files[0].Pos(), "errors")
+	got := applyEdit(t, pkg, e)
+	if !strings.Contains(got, "package p\n\nimport \"errors\"") {
+		t.Errorf("import not inserted after package clause:\n%s", got)
+	}
+}
+
+func TestEnsureImportAlreadyPresent(t *testing.T) {
+	pkg := loadSynthetic(t, "synth/imphave", `package p
+
+import "errors"
+
+var errX = errors.New("x")
+`)
+	p := passFor(pkg)
+	if e := p.EnsureImport(pkg.Files[0].Pos(), "errors"); e != nil {
+		t.Errorf("edit for an already-present import: %+v", e)
+	}
+}
+
+// TestFixRoundTripErrflow is the library-level round trip: lint a
+// package with a fixable errflow finding, apply the fix (rewrite plus
+// import insertion), re-lint the rewritten source, and require zero
+// findings.
+func TestFixRoundTripErrflow(t *testing.T) {
+	src := `package p
+
+import (
+	"fmt"
+	"io"
+)
+
+func f(err error) bool {
+	if err == io.EOF {
+		fmt.Println("eof")
+	}
+	return false
+}
+`
+	pkg := loadSynthetic(t, "synth/roundtrip1", src)
+	diags := RunUnfiltered(pkg, []*Analyzer{AnalyzerErrflow})
+	if len(diags) != 1 || diags[0].Fix == nil {
+		t.Fatalf("want one fixable finding, got %v", diags)
+	}
+	res, err := ApplyFixes(diags, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Applied != 1 {
+		t.Fatalf("applied = %d", res[0].Applied)
+	}
+	after, _ := os.ReadFile(filepath.Join(pkg.Dir, "x.go"))
+	if !strings.Contains(string(after), "errors.Is(err, io.EOF)") {
+		t.Errorf("rewrite missing:\n%s", after)
+	}
+	if !strings.Contains(string(after), "\t\"errors\"\n\t\"fmt\"") {
+		t.Errorf("errors import not inserted in sorted position:\n%s", after)
+	}
+	// Re-lint the fixed source under a fresh import path (the loader
+	// caches by path).
+	fixed := loadSynthetic(t, "synth/roundtrip2", string(after))
+	if d := RunUnfiltered(fixed, []*Analyzer{AnalyzerErrflow}); len(d) != 0 {
+		t.Errorf("findings after fix: %v", d)
+	}
+}

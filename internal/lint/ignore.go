@@ -136,8 +136,10 @@ func (dir *ignoreDirective) covers(d Diagnostic) bool {
 
 // unused returns one diagnostic per directive that suppressed nothing,
 // in sorted file order (the caller sorts the full set again, but this
-// keeps the function deterministic on its own).
-func (idx *ignoreIndex) unused() []Diagnostic {
+// keeps the function deterministic on its own). A directive naming any
+// rule that did not run this invocation is exempt: a partial `-rules`
+// run cannot prove it stale.
+func (idx *ignoreIndex) unused(active map[string]bool) []Diagnostic {
 	files := make([]string, 0, len(idx.byFile))
 	for f := range idx.byFile {
 		files = append(files, f)
@@ -146,7 +148,7 @@ func (idx *ignoreIndex) unused() []Diagnostic {
 	var out []Diagnostic
 	for _, f := range files {
 		for _, dir := range idx.byFile[f] {
-			if dir.used {
+			if dir.used || !allActive(dir.rules, active) {
 				continue
 			}
 			out = append(out, Diagnostic{
@@ -160,4 +162,13 @@ func (idx *ignoreIndex) unused() []Diagnostic {
 		}
 	}
 	return out
+}
+
+func allActive(rules []string, active map[string]bool) bool {
+	for _, r := range rules {
+		if !active[r] {
+			return false
+		}
+	}
+	return true
 }

@@ -5,9 +5,13 @@
 // checks. The cmd/abwlint driver runs every analyzer over the tree and
 // fails CI on findings; each rule documents the invariant it guards.
 //
-// Rules never inspect _test.go files: the tests are themselves the
-// dynamic checks, and test-local nondeterminism (timeouts, shuffled
-// inputs) is deliberate.
+// Since PR 8 the loader can augment every package with its _test.go
+// files (Loader.Tests, the abwlint -tests flag): test code is subject to
+// the same rules, with Pass.InTestFile letting individual checks relax
+// where test-local behavior (context.Background in a test body, say) is
+// deliberate. Rules may attach a Fix to a diagnostic; the abwlint
+// -fix/-diff driver applies the edits atomically per file with a
+// re-parse check.
 package lint
 
 import (
@@ -24,7 +28,7 @@ import (
 type Analyzer struct {
 	// Name is the rule's short name; diagnostics carry "abw/<Name>".
 	Name string
-	// Doc is a one-paragraph description shown by `abwlint -rules`.
+	// Doc is a one-paragraph description shown by `abwlint -list`.
 	Doc string
 	// Packages restricts the rule to packages whose import path matches
 	// one of the patterns (see matchPkg). Empty means every package.
@@ -43,8 +47,24 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	pkg      *Package
 	analyzer *Analyzer
 	diags    *[]Diagnostic
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// FileOf returns the file containing pos, or nil.
+func (p *Pass) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
 }
 
 // TypeOf returns the type of e, or nil when unknown.
@@ -62,6 +82,12 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos carrying a suggested fix (nil for
+// none); `abwlint -fix` applies the fix's edits.
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Rule:    p.analyzer.ID(),
@@ -69,18 +95,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 
 // Diagnostic is one finding. The JSON field names are a stable contract
 // for downstream tooling; diagnostics are always emitted sorted by
-// file, line, column, rule, message.
+// file, line, column, rule, message. Fix, when present, is a suggested
+// rewrite confined to the diagnostic's file.
 type Diagnostic struct {
 	Rule    string `json:"rule"`
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
+	Fix     *Fix   `json:"fix,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -167,6 +196,7 @@ func runOne(pkg *Package, a *Analyzer) []Diagnostic {
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		pkg:      pkg,
 		analyzer: a,
 		diags:    &out,
 	}
@@ -178,9 +208,16 @@ func runOne(pkg *Package, a *Analyzer) []Diagnostic {
 // malformed directives and directives that suppress nothing are both
 // findings, so stale ignores rot out of the tree instead of lingering.
 func finish(pkgs []*Package, analyzers []*Analyzer, raw []Diagnostic) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
+	// Directive names validate against the FULL registry, not the set
+	// that ran: `-rules errflow` must not turn every valid directive for
+	// another rule into an "unknown rule" finding.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
 		known[a.ID()] = true
+	}
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.ID()] = true
 	}
 	idx, bad := buildIgnoreIndex(pkgs, known)
 	out := bad
@@ -190,7 +227,7 @@ func finish(pkgs []*Package, analyzers []*Analyzer, raw []Diagnostic) []Diagnost
 		}
 		out = append(out, d)
 	}
-	out = append(out, idx.unused()...)
+	out = append(out, idx.unused(active)...)
 	sortDiagnostics(out)
 	return out
 }

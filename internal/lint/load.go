@@ -31,6 +31,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// cg is the lazily-built interprocedural call graph (callgraph.go),
+	// shared by every analyzer that runs over this package.
+	cg *CallGraph
 }
 
 // Loader parses and type-checks packages. It caches everything it
@@ -41,10 +45,19 @@ type Loader struct {
 	// the process working directory.
 	Dir string
 
+	// Tests, when set, makes Load return test-augmented packages: each
+	// matched package is re-type-checked with its in-package _test.go
+	// files included (and an external _test package, if one exists, is
+	// returned as its own Package). Importers of the package still see
+	// the plain, non-augmented types, so test-only imports can never
+	// create cycles through the loader.
+	Tests bool
+
 	fset    *token.FileSet
 	ctx     build.Context
 	std     types.ImporterFrom
 	pkgs    map[string]*Package // by import path
+	testPkg map[string]*Package // test-augmented, by import path
 	loading map[string]bool     // cycle detection
 
 	modRoot string
@@ -68,6 +81,7 @@ func NewLoader() *Loader {
 		ctx:     ctx,
 		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pkgs:    make(map[string]*Package),
+		testPkg: make(map[string]*Package),
 		loading: make(map[string]bool),
 	}
 }
@@ -130,14 +144,150 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		pkg, err := l.loadPackage(imp)
 		if err != nil {
 			if _, nogo := err.(*build.NoGoError); nogo {
-				continue
+				// A directory holding only _test.go files is invisible to
+				// the plain build but still wants linting in -tests mode.
+				if !l.Tests || !hasTestFiles(&l.ctx, d) {
+					continue
+				}
+			} else {
+				return nil, err
 			}
+		}
+		if !l.Tests {
+			// A directory holding only _test.go files type-checks to an
+			// empty package (ImportDir lists test files, so it is not a
+			// NoGoError); without tests there is nothing to lint.
+			if pkg != nil && len(pkg.Files) > 0 {
+				out = append(out, pkg)
+			}
+			continue
+		}
+		aug, xtest, err := l.loadTestPackages(imp, d, pkg)
+		if err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
+		out = append(out, aug)
+		if xtest != nil {
+			out = append(out, xtest)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// hasTestFiles reports whether dir contains _test.go files even when it
+// has no plain Go files.
+func hasTestFiles(ctx *build.Context, dir string) bool {
+	bp, _ := ctx.ImportDir(dir, 0)
+	return bp != nil && (len(bp.TestGoFiles) > 0 || len(bp.XTestGoFiles) > 0)
+}
+
+// loadTestPackages returns the test-augmented form of pkg (its files
+// re-type-checked together with the in-package _test.go files) and, when
+// the directory declares an external test package, that package too.
+// A directory with no test files returns pkg unchanged. The augmented
+// types never enter the importer cache: dependents keep seeing the plain
+// package, so test-only imports cannot create cycles.
+func (l *Loader) loadTestPackages(imp, dir string, pkg *Package) (aug, xtest *Package, err error) {
+	if p, ok := l.testPkg[imp]; ok {
+		return p, l.testPkg[imp+" [xtest]"], nil
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); !nogo {
+			return nil, nil, err
+		}
+	}
+	if bp == nil || (len(bp.TestGoFiles) == 0 && len(bp.XTestGoFiles) == 0) {
+		return pkg, nil, nil
+	}
+	// Pre-load module-internal test dependencies plainly, exactly like
+	// check does for production imports.
+	for _, deps := range [][]string{bp.TestImports, bp.XTestImports} {
+		for _, dep := range deps {
+			if l.isModuleImport(dep) && dep != imp {
+				if _, err := l.loadPackage(dep); err != nil {
+					return nil, nil, fmt.Errorf("lint: loading %s (for %s tests): %w", dep, imp, err)
+				}
+			}
+		}
+	}
+	parse := func(names []string) ([]*ast.File, error) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	testFiles, err := parse(bp.TestGoFiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	var base []*ast.File
+	if pkg != nil {
+		base = pkg.Files
+	}
+	files := append(append([]*ast.File{}, base...), testFiles...)
+	aug, err = l.typeCheck(imp, dir, files, (*loaderImporter)(l))
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s with tests: %w", imp, err)
+	}
+	l.testPkg[imp] = aug
+	if len(bp.XTestGoFiles) > 0 {
+		xfiles, err := parse(bp.XTestGoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The external test package imports the package under test; give
+		// it the augmented types so exported test hooks resolve.
+		xi := &xtestImporter{base: (*loaderImporter)(l), path: imp, aug: aug.Types}
+		xtest, err = l.typeCheck(imp+"_test", dir, xfiles, xi)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: type-checking %s_test: %w", imp, err)
+		}
+		l.testPkg[imp+" [xtest]"] = xtest
+	}
+	return aug, xtest, nil
+}
+
+// typeCheck runs the type checker over already-parsed files without
+// touching the importer cache.
+func (l *Loader) typeCheck(imp, dir string, files []*ast.File, imports types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imports,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(imp, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, typeErrs[0]
+	}
+	return &Package{Path: imp, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// xtestImporter resolves the package under test to its test-augmented
+// types and everything else through the normal loader path.
+type xtestImporter struct {
+	base types.Importer
+	path string
+	aug  *types.Package
+}
+
+func (x *xtestImporter) Import(path string) (*types.Package, error) {
+	if path == x.path {
+		return x.aug, nil
+	}
+	return x.base.Import(path)
 }
 
 // LoadDir type-checks a single directory outside the module (fixture

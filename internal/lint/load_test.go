@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+var testsModeTree = map[string]string{
+	"go.mod": "module synthtest\n\ngo 1.21\n",
+	"a.go": `package a
+
+// Eq compares without direct equality.
+func Eq(x, y float64) bool { return !(x < y) && !(x > y) }
+`,
+	"a_test.go": `package a
+
+import "time"
+
+func stampInternal() time.Time { return time.Now() }
+`,
+	"ax_test.go": `package a_test
+
+import (
+	"time"
+
+	a "synthtest"
+)
+
+func stampExternal() time.Time {
+	_ = a.Eq
+	return time.Now()
+}
+`,
+}
+
+func TestLoadSkipsTestFilesByDefault(t *testing.T) {
+	l := NewLoader()
+	l.Dir = writeTree(t, testsModeTree)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "synthtest" {
+		t.Fatalf("packages = %v", pkgPaths(pkgs))
+	}
+	if d := Run(pkgs, []*Analyzer{AnalyzerTimenow}); len(d) != 0 {
+		t.Errorf("findings without -tests: %v", d)
+	}
+}
+
+func TestLoadTestsMode(t *testing.T) {
+	l := NewLoader()
+	l.Dir = writeTree(t, testsModeTree)
+	l.Tests = true
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pkgPaths(pkgs); len(pkgs) != 2 || pkgs[0].Path != "synthtest" || pkgs[1].Path != "synthtest_test" {
+		t.Fatalf("packages = %v, want [synthtest synthtest_test]", got)
+	}
+	d := Run(pkgs, []*Analyzer{AnalyzerTimenow})
+	if len(d) != 2 {
+		t.Fatalf("findings = %v, want one per test file", d)
+	}
+	files := []string{filepath.Base(d[0].File), filepath.Base(d[1].File)}
+	if files[0] != "a_test.go" || files[1] != "ax_test.go" {
+		t.Errorf("finding files = %v", files)
+	}
+}
+
+func TestLoadTestsModeCaches(t *testing.T) {
+	l := NewLoader()
+	l.Dir = writeTree(t, testsModeTree)
+	l.Tests = true
+	first, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != second[0] || first[1] != second[1] {
+		t.Error("augmented packages not cached across Load calls")
+	}
+}
+
+// TestLoadTestOnlyDir pins that a directory holding nothing but
+// _test.go files — invisible to the plain build — still lints in
+// tests mode.
+func TestLoadTestOnlyDir(t *testing.T) {
+	tree := map[string]string{
+		"go.mod": "module synthonly\n\ngo 1.21\n",
+		"sub/only_test.go": `package sub
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+`,
+	}
+	plain := NewLoader()
+	plain.Dir = writeTree(t, tree)
+	pkgs, err := plain.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 0 {
+		t.Fatalf("plain load saw %v", pkgPaths(pkgs))
+	}
+
+	l := NewLoader()
+	l.Dir = writeTree(t, tree)
+	l.Tests = true
+	pkgs, err = l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || !strings.HasSuffix(pkgs[0].Path, "/sub") {
+		t.Fatalf("packages = %v", pkgPaths(pkgs))
+	}
+	if d := Run(pkgs, []*Analyzer{AnalyzerTimenow}); len(d) != 1 {
+		t.Errorf("findings = %v, want 1", d)
+	}
+}
+
+// TestLoadTestsModeImportersSeePlainTypes pins the no-cycle property:
+// a dependent package type-checks against the plain (non-augmented)
+// types even when tests mode is on.
+func TestLoadTestsModeImportersSeePlainTypes(t *testing.T) {
+	l := NewLoader()
+	l.Dir = writeTree(t, map[string]string{
+		"go.mod": "module synthdep\n\ngo 1.21\n",
+		"lib/lib.go": `package lib
+
+// V is exported for dependents.
+var V = 1
+`,
+		"lib/lib_test.go": `package lib
+
+// testOnly exists only in the augmented package.
+var testOnly = 2
+`,
+		"app/app.go": `package app
+
+import "synthdep/lib"
+
+// U uses the plain package surface.
+var U = lib.V
+`,
+	})
+	l.Tests = true
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lib *Package
+	for _, p := range pkgs {
+		if p.Path == "synthdep/lib" {
+			lib = p
+		}
+	}
+	if lib == nil {
+		t.Fatalf("lib not loaded: %v", pkgPaths(pkgs))
+	}
+	if lib.Types.Scope().Lookup("testOnly") == nil {
+		t.Error("augmented lib is missing its test-file declarations")
+	}
+}
+
+func pkgPaths(pkgs []*Package) []string {
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = p.Path
+	}
+	return out
+}
+
+func TestPassInTestFile(t *testing.T) {
+	l := NewLoader()
+	l.Dir = writeTree(t, testsModeTree)
+	l.Tests = true
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := passFor(pkgs[0])
+	inTest := 0
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			inTest++
+		}
+	}
+	if len(p.Files) != 2 || inTest != 1 {
+		t.Errorf("files=%d inTest=%d, want 2/1", len(p.Files), inTest)
+	}
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerLockguard machine-checks the mutex discipline the concurrent
+// subsystems document by hand (memo.Cache, memo.Store, server.Server,
+// core.Session — e.g. the "Stats single-lock snapshot" rule of
+// DESIGN.md Sec. 10): a struct field annotated
+//
+//	//guards: <mu>
+//
+// (in the field's doc or line comment; <mu> names a sync.Mutex or
+// sync.RWMutex field of the same struct) may only be read or written
+//
+//   - in a function where the forward-dataflow engine proves the same
+//     instance's mutex held at the access (mu.Lock()/RLock() reached on
+//     every path, no intervening Unlock; defer Unlock keeps it held), or
+//   - in a method whose name ends in "Locked" — the repo's caller-holds
+//     convention — in which case the obligation moves interprocedurally
+//     to every static caller, which must itself hold the mutex at the
+//     call (or be a *Locked method, recursively).
+//
+// Anything else is a finding, waivable per access with a justified
+// //lint:ignore (the accessor escape hatch). A malformed annotation —
+// naming a missing field or one that is not a mutex — is itself a
+// finding, so annotations cannot rot.
+var AnalyzerLockguard = &Analyzer{
+	Name: "lockguard",
+	Doc: "access to a //guards:-annotated struct field without holding the " +
+		"named mutex, proven by forward dataflow plus the *Locked caller-holds " +
+		"convention checked at every call site (guards the single-lock " +
+		"snapshot rules of Sec. 10/11)",
+	Run: runLockguard,
+}
+
+const guardsPrefix = "guards:"
+
+func runLockguard(p *Pass) {
+	guards := p.collectGuards()
+	if len(guards) == 0 {
+		return
+	}
+	cg := p.CallGraph()
+
+	// Per-function analysis: find unguarded accesses. Accesses inside
+	// *Locked methods become caller obligations instead of findings —
+	// the convention is that the caller already holds the receiver's
+	// mutex, and the interprocedural pass below verifies it does.
+	needs := make(map[*types.Func]map[*types.Var]bool) // Locked fn -> mutexes owed
+	for _, n := range cg.ByDecl {
+		recv := receiverVar(p, n.Decl)
+		locked := recv != nil && strings.HasSuffix(n.Decl.Name.Name, "Locked")
+		forwardFlow(n.Decl.Body, make(Facts), func(node ast.Node, facts Facts, inDefer bool) {
+			switch node := node.(type) {
+			case *ast.CallExpr:
+				if !inDefer {
+					if root, mu, op := p.lockOp(node); root != nil {
+						switch op {
+						case "Lock", "RLock":
+							facts[lockFact(root, mu)] = true
+						case "Unlock", "RUnlock":
+							delete(facts, lockFact(root, mu))
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				fieldObj, ok := p.Info.Uses[node.Sel].(*types.Var)
+				if !ok {
+					return
+				}
+				mu := guards[fieldObj]
+				if mu == nil {
+					return
+				}
+				root := rootIdentObj(p, node.X)
+				if root == nil {
+					// Access through a compound expression (map value,
+					// call result): instance identity is unknowable
+					// statically; stay silent rather than guess.
+					return
+				}
+				if facts[lockFact(root, mu)] {
+					return
+				}
+				if locked && root == recv {
+					if needs[n.Obj] == nil {
+						needs[n.Obj] = make(map[*types.Var]bool)
+					}
+					needs[n.Obj][mu] = true
+					return
+				}
+				p.Reportf(node.Sel.Pos(), "%q is guarded by %q (//guards:) but accessed without holding it; lock %s.%s first or go through a *Locked accessor",
+					fieldObj.Name(), mu.Name(), root.Name(), mu.Name())
+			}
+		})
+	}
+
+	// Interprocedural pass: discharge *Locked obligations at their call
+	// sites. Obligations propagate caller-to-caller through nested
+	// *Locked methods until a site either proves the lock held or is a
+	// finding; the worklist runs to a fixed point (obligation sets only
+	// grow, bounded by the mutex count).
+	for changed := true; changed; {
+		changed = false
+		for fn, mus := range needs {
+			node := cg.Funcs[fn]
+			if node == nil {
+				continue
+			}
+			for _, site := range node.Callers {
+				caller := site.Caller
+				callerRecv := receiverVar(p, caller.Decl)
+				callerLocked := callerRecv != nil && strings.HasSuffix(caller.Decl.Name.Name, "Locked")
+				if !callerLocked {
+					continue
+				}
+				// A *Locked caller inherits the obligation for the same
+				// receiver chain instead of discharging it.
+				for mu := range mus {
+					if needs[caller.Obj] == nil {
+						needs[caller.Obj] = make(map[*types.Var]bool)
+					}
+					if !needs[caller.Obj][mu] {
+						needs[caller.Obj][mu] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for fn, mus := range needs {
+		node := cg.Funcs[fn]
+		if node == nil {
+			continue
+		}
+		for _, site := range node.Callers {
+			caller := site.Caller
+			callerRecv := receiverVar(p, caller.Decl)
+			if callerRecv != nil && strings.HasSuffix(caller.Decl.Name.Name, "Locked") {
+				continue // propagated above
+			}
+			// Re-run the flow over the caller to learn the held set at
+			// this specific call site.
+			held := p.heldAt(caller, site.Call)
+			root := p.callReceiverRoot(site.Call)
+			for mu := range mus {
+				if root != nil && held[lockFact(root, mu)] {
+					continue
+				}
+				p.Reportf(site.Call.Pos(), "call to %s requires %q held (it touches //guards: fields); lock it before the call",
+					fn.Name(), mu.Name())
+			}
+		}
+	}
+}
+
+// collectGuards parses //guards: annotations into field -> mutex-field,
+// reporting malformed ones.
+func (p *Pass) collectGuards() map[*types.Var]*types.Var {
+	guards := make(map[*types.Var]*types.Var)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				muName, pos, ok := guardsAnnotation(field)
+				if !ok {
+					continue
+				}
+				mu := lookupStructField(p, st, muName)
+				if mu == nil || !isMutexType(mu.Type()) {
+					p.Reportf(pos, "//guards: names %q, which is not a sync.Mutex/RWMutex field of this struct", muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardsAnnotation extracts the mutex name from a field's doc or line
+// comment: the first whitespace-separated token after "guards:"; any
+// trailing text is prose for the reader.
+func guardsAnnotation(field *ast.Field) (string, token.Pos, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, guardsPrefix); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					return fields[0], c.Pos(), true
+				}
+				return "", c.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func lookupStructField(p *Pass, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				if v, ok := p.Info.Defs[n].(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockFact names the fact "mutex field mu of instance root is held".
+// The root's declaration position keeps same-named variables in
+// different scopes distinct.
+func lockFact(root types.Object, mu *types.Var) string {
+	return root.Name() + "\x00" + strconv.Itoa(int(root.Pos())) + "\x00" + mu.Name()
+}
+
+// lockOp recognizes root.mu.Lock()/Unlock()/RLock()/RUnlock() calls,
+// returning the instance root object and the mutex field.
+func (p *Pass) lockOp(call *ast.CallExpr) (types.Object, *types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	op := sel.Sel.Name
+	if op != "Lock" && op != "Unlock" && op != "RLock" && op != "RUnlock" {
+		return nil, nil, ""
+	}
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	mu, ok := p.Info.Uses[muSel.Sel].(*types.Var)
+	if !ok || !isMutexType(mu.Type()) {
+		return nil, nil, ""
+	}
+	root := rootIdentObj(p, muSel.X)
+	if root == nil {
+		return nil, nil, ""
+	}
+	return root, mu, op
+}
+
+// rootIdentObj resolves the leftmost identifier of a selector chain
+// (x in x.a.b) to its object, nil for non-identifier roots.
+func rootIdentObj(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return p.ObjectOf(t)
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// receiverVar returns the declared receiver variable of a method, nil
+// for plain functions or anonymous receivers.
+func receiverVar(p *Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := p.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// heldAt re-runs the flow over caller and returns the facts holding
+// just before the given call executes.
+func (p *Pass) heldAt(caller *FuncNode, call *ast.CallExpr) Facts {
+	var at Facts
+	forwardFlow(caller.Decl.Body, make(Facts), func(n ast.Node, facts Facts, inDefer bool) {
+		if n == call {
+			at = facts.clone()
+			return
+		}
+		if inDefer {
+			return
+		}
+		if c, ok := n.(*ast.CallExpr); ok {
+			if root, mu, op := p.lockOp(c); root != nil {
+				switch op {
+				case "Lock", "RLock":
+					facts[lockFact(root, mu)] = true
+				case "Unlock", "RUnlock":
+					delete(facts, lockFact(root, mu))
+				}
+			}
+		}
+	})
+	if at == nil {
+		at = make(Facts)
+	}
+	return at
+}
+
+// callReceiverRoot resolves the root instance of a method call's
+// receiver expression (c in c.insertLocked(...)).
+func (p *Pass) callReceiverRoot(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return rootIdentObj(p, sel.X)
+}

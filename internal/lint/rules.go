@@ -1,13 +1,16 @@
 package lint
 
 // Analyzers returns every rule, sorted by name. The set is the contract
-// `abwlint -rules` prints and CHANGES to it must update DESIGN.md
-// Sec. 9 (static enforcement).
+// `abwlint -list` prints and CHANGES to it must update DESIGN.md
+// Sec. 9/13 (static enforcement).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerAtomicfield,
+		AnalyzerCtxflow,
+		AnalyzerErrflow,
 		AnalyzerFloateq,
 		AnalyzerGlobalrand,
+		AnalyzerLockguard,
 		AnalyzerMaporder,
 		AnalyzerTimenow,
 	}

@@ -81,7 +81,10 @@ func TestGlobalrandFixture(t *testing.T) { checkFixture(t, AnalyzerGlobalrand, "
 func TestAtomicfieldFixture(t *testing.T) {
 	checkFixture(t, AnalyzerAtomicfield, "atomicfield")
 }
-func TestTimenowFixture(t *testing.T) { checkFixture(t, AnalyzerTimenow, "timenow") }
+func TestTimenowFixture(t *testing.T)   { checkFixture(t, AnalyzerTimenow, "timenow") }
+func TestCtxflowFixture(t *testing.T)   { checkFixture(t, AnalyzerCtxflow, "ctxflow") }
+func TestErrflowFixture(t *testing.T)   { checkFixture(t, AnalyzerErrflow, "errflow") }
+func TestLockguardFixture(t *testing.T) { checkFixture(t, AnalyzerLockguard, "lockguard") }
 
 // TestTimenowMainExempt pins the package-main exemption: the same
 // time.Now call that fails in a library package passes in a command.

@@ -1,0 +1,58 @@
+// Package errflow exercises abw/errflow: sentinel identity compares
+// (errors.Is required), fmt.Errorf wrapping discipline, and
+// suppression.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// compare flags identity equality between errors.
+func compare(err error) bool {
+	return err == errSentinel // want "== on errors"
+}
+
+// compareNeq is just as wrong.
+func compareNeq(err error) bool {
+	return err != errSentinel // want "!= on errors"
+}
+
+// nilCheck is the idiom, not a finding.
+func nilCheck(err error) bool {
+	return err != nil
+}
+
+// isOK is the sanctioned form.
+func isOK(err error) bool {
+	return errors.Is(err, errSentinel)
+}
+
+// wrapWrong formats an error with %v, stripping its identity.
+func wrapWrong(err error) error {
+	return fmt.Errorf("query: %v", err) // want "formats an error with %v"
+}
+
+// wrapRight wraps with %w; identity survives.
+func wrapRight(err error) error {
+	return fmt.Errorf("query: %w", err)
+}
+
+// wrapString formats a non-error operand; no finding.
+func wrapString(name string) error {
+	return fmt.Errorf("query %q failed", name)
+}
+
+// starWidth uses * width, outside the plain left-to-right verb subset
+// the rule parses; it stays silent rather than guessing.
+func starWidth(err error) error {
+	return fmt.Errorf("%*v", 3, err)
+}
+
+// identity documents a pointer-identity compare.
+func identity(err error) bool {
+	//lint:ignore abw/errflow fixture: pointer identity on purpose; suppression under test
+	return err == errSentinel
+}

@@ -1,0 +1,107 @@
+// Package lockguard exercises abw/lockguard: //guards: annotations,
+// dataflow-proved critical sections (defer, branches, unlock), the
+// *Locked caller-holds convention with interprocedural discharge,
+// malformed annotations, and suppression.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //guards: mu
+}
+
+// inc accesses n inside a plain Lock/Unlock pair.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// get holds mu via defer across the read.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bare reads n with no lock anywhere.
+func (c *counter) bare() int {
+	return c.n // want "accessed without holding it"
+}
+
+// unlockedThen reads after the critical section ended.
+func (c *counter) unlockedThen() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "accessed without holding it"
+}
+
+// oneBranch locks on only one path; the join drops the fact.
+func (c *counter) oneBranch(b bool) int {
+	if b {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n // want "accessed without holding it"
+}
+
+// incLocked is the caller-holds convention: its access becomes an
+// obligation at every call site instead of a finding here.
+func (c *counter) incLocked() {
+	c.n++
+}
+
+// viaLocked discharges the obligation: mu is held at the call.
+func (c *counter) viaLocked() {
+	c.mu.Lock()
+	c.incLocked()
+	c.mu.Unlock()
+}
+
+// skipsLock calls the Locked accessor with nothing held.
+func (c *counter) skipsLock() {
+	c.incLocked() // want "requires \"mu\" held"
+}
+
+// doubleLocked nests the convention; the obligation propagates
+// through it to its own callers.
+func (c *counter) doubleLocked() {
+	c.incLocked()
+}
+
+// viaDouble discharges the propagated obligation.
+func (c *counter) viaDouble() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.doubleLocked()
+}
+
+// skipsDouble drops the propagated obligation.
+func (c *counter) skipsDouble() {
+	c.doubleLocked() // want "requires \"mu\" held"
+}
+
+// rwbox guards with a RWMutex; RLock counts as holding.
+type rwbox struct {
+	rw sync.RWMutex
+	v  int //guards: rw
+}
+
+func (b *rwbox) read() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.v
+}
+
+// bad annotates a field with something that is not a mutex.
+type bad struct {
+	//guards: missing // want "not a sync.Mutex/RWMutex field"
+	no int
+}
+
+// snapshot documents a deliberately unsynchronized read.
+func (c *counter) snapshot() int {
+	//lint:ignore abw/lockguard fixture: racy sampling read on purpose; suppression under test
+	return c.n
+}

@@ -61,10 +61,10 @@ type Cache struct {
 	store *Store
 
 	mu       sync.Mutex
-	entries  map[string]*list.Element // key -> *entry element
-	ll       *list.List               // front = most recently used
-	bytes    int64                    // retained bytes, guarded by mu
-	inflight map[string]*flight
+	entries  map[string]*list.Element //guards: mu — key -> *entry element
+	ll       *list.List               //guards: mu — front = most recently used
+	bytes    int64                    //guards: mu — retained bytes
+	inflight map[string]*flight       //guards: mu
 
 	// Counters. Every access goes through sync/atomic (the
 	// abw/atomicfield lint rule enforces it): Stats() must be callable

@@ -78,13 +78,13 @@ type Store struct {
 	maxBytes int64
 
 	mu       sync.Mutex
-	files    map[string]*storeFile // filename -> metadata
-	order    []*storeFile          // LRU: oldest first, newest last
-	bytes    int64                 // total file bytes, guarded by mu
-	maxMtime time.Time             // newest stamp observed; recency bumps go just past it
+	files    map[string]*storeFile //guards: mu — filename -> metadata
+	order    []*storeFile          //guards: mu — LRU: oldest first, newest last
+	bytes    int64                 //guards: mu — total file bytes
+	maxMtime time.Time             //guards: mu — newest stamp observed; recency bumps go just past it
 
 	qmu    sync.Mutex
-	closed bool
+	closed bool //guards: qmu
 	queue  chan storeReq
 	idle   chan struct{} // closed when the writer goroutine exits
 
@@ -168,11 +168,15 @@ func (s *Store) scan() error {
 			s.maxMtime = f.mtime
 		}
 	}
-	sort.Slice(s.order, func(i, j int) bool {
-		if !s.order[i].mtime.Equal(s.order[j].mtime) {
-			return s.order[i].mtime.Before(s.order[j].mtime)
+	// Sort through a local so the closure (which the lockguard dataflow
+	// treats as escaping mu's critical section) never touches the
+	// guarded field; it shares s.order's backing array.
+	order := s.order
+	sort.Slice(order, func(i, j int) bool {
+		if !order[i].mtime.Equal(order[j].mtime) {
+			return order[i].mtime.Before(order[j].mtime)
 		}
-		return s.order[i].name < s.order[j].name
+		return order[i].name < order[j].name
 	})
 	s.pruneLocked()
 	return nil

@@ -50,11 +50,11 @@ import (
 // zero value serves errors until a network is installed.
 type Server struct {
 	mu      sync.Mutex
-	net     *topology.Network
-	model   *conflict.Physical
-	flows   map[int]*flowRecord
-	nextID  int
-	gen     int // bumped on every network install; guards admissions
+	net     *topology.Network   //guards: mu
+	model   *conflict.Physical  //guards: mu
+	flows   map[int]*flowRecord //guards: mu
+	nextID  int                 //guards: mu
+	gen     int                 //guards: mu — bumped on every network install; guards admissions
 	maxBody int64
 	workers int
 	cache   *memo.Cache

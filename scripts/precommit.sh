@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Pre-commit gate over the files staged for this commit: gofmt on the
+# staged Go files, then go vet and abwlint restricted to the packages
+# those files live in. Fast because it scopes to the change; the full
+# tree still gets the complete suite in CI (`make check`).
+#
+# Install with `make hooks` (copies this file to .git/hooks/pre-commit).
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+# Staged Go files, excluding deletions and the lint fixtures (which
+# contain findings on purpose).
+mapfile -t files < <(git diff --cached --name-only --diff-filter=ACMR -- '*.go' |
+    grep -v '^internal/lint/testdata/' || true)
+if [ "${#files[@]}" -eq 0 ]; then
+    exit 0
+fi
+
+unformatted=$(gofmt -l "${files[@]}")
+if [ -n "$unformatted" ]; then
+    echo "pre-commit: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+# The packages the staged files belong to, as ./dir patterns.
+mapfile -t pkgs < <(for f in "${files[@]}"; do dirname "$f"; done | sort -u |
+    sed 's|^|./|')
+
+go vet "${pkgs[@]}"
+go run ./cmd/abwlint "${pkgs[@]}"

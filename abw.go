@@ -41,6 +41,7 @@ import (
 	"abw/internal/geom"
 	"abw/internal/lp"
 	"abw/internal/memo"
+	"abw/internal/obs"
 	"abw/internal/radio"
 	"abw/internal/routing"
 	"abw/internal/schedule"
@@ -252,6 +253,31 @@ func (s *System) CacheStats() CacheStats { return s.cache.Stats() }
 
 // CacheStats is the counter snapshot the memo cache exposes.
 type CacheStats = memo.Stats
+
+// Span accumulates a per-stage trace of one query: wall time, sets
+// enumerated, simplex pivots, cache outcomes and worker counts for
+// every stage the computation passed through (routing, enumeration,
+// memo lookup, LP solve/warm-resolve, scheduling, estimation). Attach
+// one with WithTrace; read it back with Span.Trace after the query.
+type Span = obs.Span
+
+// TraceData is a finished span's snapshot — the same structure the
+// daemon returns as a query's "trace" block.
+type TraceData = obs.TraceData
+
+// WithTrace attaches a fresh trace span to ctx and returns both. Every
+// *Context entry point called with the returned context records its
+// stages into the span; the computed results are byte-identical to an
+// untraced run (tracing only observes). Read the trace with
+// span.Trace() once the call returns:
+//
+//	ctx, span := abw.WithTrace(context.Background())
+//	res, _ := sys.AvailableBandwidthContext(ctx, background, path)
+//	td := span.Trace() // stage-by-stage wall time, sets, pivots
+func WithTrace(ctx context.Context) (context.Context, *Span) {
+	span := obs.NewSpan("")
+	return obs.WithSpan(ctx, span), span
+}
 
 // ErrCanceled reports a computation stopped by context cancellation or
 // deadline expiry. Errors from the *Context entry points satisfy

@@ -1,6 +1,7 @@
 package abw
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -545,5 +546,45 @@ func TestCloseWithoutCache(t *testing.T) {
 	sys := lineSystem(t, 4, 100)
 	if err := sys.Close(); err != nil {
 		t.Errorf("Close on cache-less system: %v", err)
+	}
+}
+
+func TestWithTraceObservesQuery(t *testing.T) {
+	sys := lineSystem(t, 5, 100)
+	path, err := sys.PathBetween(0, 1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := []Flow{{Path: path, Demand: 2}}
+	plain, err := sys.AvailableBandwidth(bg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, span := WithTrace(context.Background())
+	traced, err := sys.AvailableBandwidthContext(ctx, bg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tracing only observes the computation.
+	if math.Float64bits(traced.Bandwidth) != math.Float64bits(plain.Bandwidth) ||
+		traced.Feasible != plain.Feasible {
+		t.Fatalf("traced result differs: %+v vs %+v", traced, plain)
+	}
+	td := span.Trace()
+	if td == nil || td.TotalNs <= 0 || len(td.Stages) == 0 {
+		t.Fatalf("empty trace: %+v", td)
+	}
+	seen := map[string]bool{}
+	var sets int64
+	for _, st := range td.Stages {
+		seen[string(st.Stage)] = true
+		sets += st.Sets
+	}
+	if !seen["enumerate"] || !seen["lp_solve"] {
+		t.Fatalf("trace stages: %v", seen)
+	}
+	if sets <= 0 {
+		t.Fatalf("trace recorded no enumerated sets: %+v", td.Stages)
 	}
 }

@@ -42,6 +42,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		cacheBytes = fs.Int64("cachebytes", 0, "retained-bytes budget for cached set families (0 = default; implies -cache)")
 		cacheDir   = fs.String("cachedir", "", "directory for the crash-safe on-disk set-family spill, reused across runs (implies -cache)")
 		cachestats = fs.Bool("cachestats", false, "print memo-cache counters to stderr (implies -cache)")
+		trace      = fs.Bool("trace", false, "record a per-stage trace (routing, enumeration, memo, LP) into the answer's \"trace\" block; the numeric answer is identical")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -104,6 +105,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if cacheDirSet {
 		spec.CacheDir = *cacheDir
+	}
+	if *trace {
+		spec.Trace = true
 	}
 	ans, err := netjson.Solve(spec)
 	if err != nil {

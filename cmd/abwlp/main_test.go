@@ -128,3 +128,38 @@ func TestCacheDirWarmsSecondRun(t *testing.T) {
 		t.Errorf("second run re-enumerated: %v", warm)
 	}
 }
+
+// TestTraceFlag pins the -trace contract: the flag adds a "trace" block
+// with per-stage records, and the numeric answer is identical to an
+// untraced run.
+func TestTraceFlag(t *testing.T) {
+	var plain, traced, errOut bytes.Buffer
+	if code := run(nil, strings.NewReader(spec), &plain, &errOut); code != 0 {
+		t.Fatalf("plain run: exit %d, stderr: %s", code, errOut.String())
+	}
+	if code := run([]string{"-trace"}, strings.NewReader(spec), &traced, &errOut); code != 0 {
+		t.Fatalf("traced run: exit %d, stderr: %s", code, errOut.String())
+	}
+
+	var p, tr map[string]interface{}
+	if err := json.Unmarshal(plain.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(traced.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := p["trace"]; present {
+		t.Fatalf("untraced answer has a trace block: %v", p)
+	}
+	trace, ok := tr["trace"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("traced answer missing trace block: %v", tr)
+	}
+	if trace["totalNs"].(float64) <= 0 || len(trace["stages"].([]interface{})) == 0 {
+		t.Fatalf("trace block empty: %v", trace)
+	}
+	// The numeric answer is unchanged by tracing.
+	if p["bandwidthMbps"] != tr["bandwidthMbps"] || p["feasible"] != tr["feasible"] {
+		t.Fatalf("traced answer differs: %v vs %v", p, tr)
+	}
+}

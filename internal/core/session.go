@@ -14,6 +14,7 @@ import (
 	"abw/internal/indepset"
 	"abw/internal/lp"
 	"abw/internal/memo"
+	"abw/internal/obs"
 	"abw/internal/schedule"
 	"abw/internal/topology"
 )
@@ -241,12 +242,16 @@ func (s *Session) FeasibleDemandsContext(ctx context.Context, flows []Flow) (boo
 	demand := linkDemand(flows)
 	key := feasKey(universe, demand)
 
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageSession)
+	defer tm.End()
 	s.mu.Lock()
 	if r, ok := s.feas[key]; ok {
 		s.mu.Unlock()
+		tm.SetOutcome("hit")
 		return r.ok, copySchedule(r.sched), nil
 	}
 	s.mu.Unlock()
+	tm.SetOutcome("miss")
 
 	ok, sched, err := FeasibleDemandsContext(ctx, s.m, flows, s.opts)
 	if err != nil {
@@ -288,14 +293,18 @@ func (s *Session) IdleRatiosContext(ctx context.Context, net *topology.Network, 
 	universe := topology.LinkUnion(paths...)
 	key := feasKey(universe, linkDemand(flows))
 
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageSession)
+	defer tm.End()
 	s.mu.Lock()
 	if idle, ok := s.idle[key]; ok {
 		s.mu.Unlock()
+		tm.SetOutcome("hit")
 		out := make([]float64, len(idle))
 		copy(out, idle)
 		return out, nil
 	}
 	s.mu.Unlock()
+	tm.SetOutcome("miss")
 
 	ok, sched, err := s.FeasibleDemandsContext(ctx, flows)
 	if err != nil {

@@ -42,6 +42,7 @@ import (
 
 	"abw/internal/cancel"
 	"abw/internal/conflict"
+	"abw/internal/obs"
 	"abw/internal/radio"
 	"abw/internal/topology"
 )
@@ -241,6 +242,9 @@ func enumerate(ctx context.Context, m conflict.Model, links []topology.LinkID, o
 	universe := dedupSorted(links)
 	limit := opts.limit()
 	workers := opts.workerCount(len(universe))
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageEnumerate)
+	tm.SetWorkers(workers)
+	defer tm.End()
 	var out []Set
 	var err error
 	switch mm := m.(type) {
@@ -256,6 +260,7 @@ func enumerate(ctx context.Context, m conflict.Model, links []topology.LinkID, o
 		return nil, false, err
 	}
 	sortByKey(out)
+	tm.AddSets(int64(len(out)))
 	return out, truncated, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"abw/internal/cancel"
+	"abw/internal/obs"
 )
 
 // Sense is the optimization direction.
@@ -262,7 +263,12 @@ func (p *Problem) Solve() (*Solution, error) {
 // satisfying errors.Is(err, cancel.ErrCanceled) once ctx is cancelled.
 // An uncancelled solve returns exactly what Solve would.
 func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageLPSolve)
+	defer tm.End()
 	sol, _, err := p.solve(cancel.NewChecker(ctx, pivotCheckEvery))
+	if sol != nil {
+		tm.AddPivots(int64(sol.Pivots))
+	}
 	return sol, err
 }
 

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"abw/internal/cancel"
+	"abw/internal/obs"
 )
 
 // WarmSolver re-solves one Problem across a sequence of right-hand-side
@@ -68,6 +69,8 @@ func (w *WarmSolver) Solve() (*Solution, error) {
 // SolveContext is Solve under a context; see Problem.SolveContext. A
 // cancelled solve retains no tableau, so the next call rebuilds cold.
 func (w *WarmSolver) SolveContext(ctx context.Context) (*Solution, error) {
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageLPSolve)
+	defer tm.End()
 	sol, tb, err := w.p.solve(cancel.NewChecker(ctx, pivotCheckEvery))
 	if err != nil {
 		w.tab = nil
@@ -76,6 +79,7 @@ func (w *WarmSolver) SolveContext(ctx context.Context) (*Solution, error) {
 	w.retain(tb)
 	w.lastPivots = sol.Pivots
 	w.lastWarm = false
+	tm.AddPivots(int64(sol.Pivots))
 	return sol, nil
 }
 
@@ -139,6 +143,11 @@ func (w *WarmSolver) Resolve() (*Solution, bool, error) {
 // next call after cancellation simply runs cold — correctness is never
 // entrusted to a half-repaired basis.
 func (w *WarmSolver) ResolveContext(ctx context.Context) (*Solution, bool, error) {
+	// The timer starts on the warm stage and is re-labeled lp_solve if
+	// the attempt falls through to a cold solve, so each resolve is
+	// accounted exactly once under the path it actually took.
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageLPWarm)
+	defer tm.End()
 	chk := cancel.NewChecker(ctx, pivotCheckEvery)
 	if w.tab != nil && (w.p.NumVars() != w.nVars || w.p.NumConstraints() != w.nCons) {
 		w.tab = nil
@@ -153,12 +162,15 @@ func (w *WarmSolver) ResolveContext(ctx context.Context) (*Solution, bool, error
 			w.lastPivots = sol.Pivots
 			w.lastWarm = true
 			w.warmCount++
+			tm.SetWarm(true)
+			tm.AddPivots(int64(sol.Pivots))
 			return sol, true, nil
 		}
 		// Warm path bailed out (stall, surviving artificial, or a
 		// dual-infeasibility verdict we only trust from a cold solve).
 		w.tab = nil
 	}
+	tm.SetStage(obs.StageLPSolve)
 	sol, tb, err := w.p.solve(chk)
 	if err != nil {
 		return nil, false, err
@@ -166,6 +178,7 @@ func (w *WarmSolver) ResolveContext(ctx context.Context) (*Solution, bool, error
 	w.retain(tb)
 	w.lastPivots = sol.Pivots
 	w.lastWarm = false
+	tm.AddPivots(int64(sol.Pivots))
 	return sol, false, nil
 }
 

@@ -40,6 +40,7 @@ import (
 	"abw/internal/cancel"
 	"abw/internal/conflict"
 	"abw/internal/indepset"
+	"abw/internal/obs"
 	"abw/internal/topology"
 )
 
@@ -258,10 +259,17 @@ func (c *Cache) enumerate(ctx context.Context, m conflict.Model, links []topolog
 	if c == nil {
 		return enumerateFn(ctx, m, links, opts)
 	}
+	// The memo timer measures the lookup itself and tags its outcome;
+	// on a miss the leader's walk shows up separately under the
+	// enumerate stage, so trace wall times stay attributable.
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageMemo)
+	defer tm.End()
 	atomic.AddInt64(&c.lookups, 1)
 	key, ok := Key(m, links, opts)
 	if !ok {
 		atomic.AddInt64(&c.bypasses, 1)
+		tm.SetOutcome("bypass")
+		tm.End() // before the walk: bypass time is the keying attempt, not the DFS
 		return c.countCanceled(enumerateFn(ctx, m, links, opts))
 	}
 
@@ -271,11 +279,14 @@ func (c *Cache) enumerate(ctx context.Context, m conflict.Model, links []topolog
 		sets := el.Value.(*entry).sets
 		c.mu.Unlock()
 		atomic.AddInt64(&c.hits, 1)
+		tm.SetOutcome("hit")
+		tm.AddSets(int64(len(sets)))
 		return copyFamily(sets), false, nil
 	}
 	if fl, joined := c.inflight[key]; joined {
 		c.mu.Unlock()
 		atomic.AddInt64(&c.merges, 1)
+		tm.SetOutcome("merge")
 		// Honor the waiter's own context: cancellation detaches this
 		// waiter without touching the leader's walk or its result. The
 		// nil Done channel of an uncancellable context blocks that case
@@ -302,10 +313,14 @@ func (c *Cache) enumerate(ctx context.Context, m conflict.Model, links []topolog
 		c.insertLocked(key, sets)
 		c.mu.Unlock()
 		close(fl.done)
+		tm.SetOutcome("diskHit")
+		tm.AddSets(int64(len(sets)))
 		return copyFamily(sets), false, nil
 	}
 
 	atomic.AddInt64(&c.misses, 1)
+	tm.SetOutcome("miss")
+	tm.End() // before the walk: the DFS accounts under the enumerate stage
 	fl.sets, fl.truncated, fl.err = enumerateFn(ctx, m, links, opts)
 
 	c.mu.Lock()

@@ -16,6 +16,7 @@ import (
 	"abw/internal/geom"
 	"abw/internal/lp"
 	"abw/internal/memo"
+	"abw/internal/obs"
 	"abw/internal/radio"
 	"abw/internal/routing"
 	"abw/internal/topology"
@@ -72,6 +73,11 @@ type Spec struct {
 	// errors.Is(err, context.DeadlineExceeded). The answer of a solve
 	// that finishes in time is identical with or without a timeout.
 	QueryTimeoutMs int64 `json:"queryTimeoutMs,omitempty"`
+	// Trace records a per-stage trace of the solve (routing,
+	// enumeration, memo lookups, LP pivots) into the answer's trace
+	// block. The numeric answer is byte-identical either way; tracing
+	// only observes the computation.
+	Trace bool `json:"trace,omitempty"`
 
 	// cache is the per-solve memo instance when Cache is set.
 	cache *memo.Cache
@@ -98,6 +104,8 @@ type Answer struct {
 	// CacheStats reports the memo-cache counters when the spec enabled
 	// caching.
 	CacheStats *memo.Stats `json:"cacheStats,omitempty"`
+	// Trace is the per-stage trace when the spec asked for one.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // ParseSpec decodes a Spec from JSON.
@@ -199,6 +207,11 @@ func SolveContext(ctx context.Context, s *Spec) (*Answer, error) {
 		ctx, cancelCtx = context.WithTimeout(ctx, time.Duration(s.QueryTimeoutMs)*time.Millisecond)
 		defer cancelCtx()
 	}
+	var span *obs.Span
+	if s.Trace {
+		span = obs.NewSpan("")
+		ctx = obs.WithSpan(ctx, span)
+	}
 	if s.CacheBytes != 0 || s.CacheDir != "" {
 		s.Cache = true
 	}
@@ -240,6 +253,7 @@ func SolveContext(ctx context.Context, s *Spec) (*Answer, error) {
 	if res.Status != lp.Optimal {
 		// Infeasible background: Feasible stays false.
 		ans.CacheStats = s.cacheStats()
+		ans.Trace = span.Trace()
 		return ans, nil
 	}
 	ans.Feasible = true
@@ -269,6 +283,7 @@ func SolveContext(ctx context.Context, s *Spec) (*Answer, error) {
 		ans.Estimates[metric.String()] = v
 	}
 	ans.CacheStats = s.cacheStats()
+	ans.Trace = span.Trace()
 	return ans, nil
 }
 

@@ -277,3 +277,47 @@ func TestSolveContextCancellation(t *testing.T) {
 		t.Fatalf("timeout changed the answer: %+v vs %+v", timed, ref)
 	}
 }
+
+func TestTraceBlockInAnswer(t *testing.T) {
+	parse := func(doc string) *Spec {
+		t.Helper()
+		spec, err := ParseSpec(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	plain, err := Solve(parse(chainSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatalf("untraced answer carries a trace: %+v", plain.Trace)
+	}
+
+	spec := parse(chainSpec)
+	spec.Trace = true
+	traced, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace == nil || traced.Trace.TotalNs <= 0 || len(traced.Trace.Stages) == 0 {
+		t.Fatalf("traced answer missing trace detail: %+v", traced.Trace)
+	}
+	seen := map[string]bool{}
+	for _, st := range traced.Trace.Stages {
+		seen[string(st.Stage)] = true
+	}
+	// The library layers record enumeration and LP stages; the
+	// server-side schedule/estimate stages are not on this path.
+	for _, want := range []string{"enumerate", "lp_solve"} {
+		if !seen[want] {
+			t.Fatalf("trace missing stage %q: %v", want, seen)
+		}
+	}
+	// Tracing only observes the solve: the numbers are identical.
+	if math.Float64bits(traced.Bandwidth) != math.Float64bits(plain.Bandwidth) ||
+		traced.Feasible != plain.Feasible {
+		t.Fatalf("traced answer differs: %+v vs %+v", traced, plain)
+	}
+}

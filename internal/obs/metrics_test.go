@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("abw_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("abw_test_gauge", "test gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Same (name, labels) must return the same instrument.
+	if r.Counter("abw_test_total", "test counter") != c {
+		t.Fatal("second Counter lookup returned a different instrument")
+	}
+	if r.Counter("abw_test_total", "test counter", L{"k", "v"}) == c {
+		t.Fatal("labeled lookup must be a distinct series")
+	}
+}
+
+func TestLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("abw_labels_total", "h", L{"a", "1"}, L{"b", "2"})
+	b := r.Counter("abw_labels_total", "h", L{"b", "2"}, L{"a", "1"})
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("abw_clash", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("abw_clash", "h")
+}
+
+func TestNilRegistryAndInstrumentsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "h")
+	g := r.Gauge("x", "h")
+	h := r.Histogram("x", "h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	// All methods must be safe on nil receivers.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil Snapshot must be nil")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("abw_lat_seconds", "h", []float64{0.01, 0.1, 1})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.005) // le=0.01 bucket
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.05) // le=0.1 bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // +Inf bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	wantSum := 50*0.005 + 40*0.05 + 10*5.0
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+	// p50 falls in the first bucket (cumulative 50 >= rank 50).
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Fatalf("p50 = %g, want within (0, 0.01]", q)
+	}
+	// p90 lands exactly at the second bucket's cumulative edge.
+	if q := h.Quantile(0.9); q <= 0.01 || q > 0.1 {
+		t.Fatalf("p90 = %g, want within (0.01, 0.1]", q)
+	}
+	// p99 is in +Inf; clamps to the highest finite bound.
+	if q := h.Quantile(0.99); q != 1 {
+		t.Fatalf("p99 = %g, want clamp to 1", q)
+	}
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 100 {
+		t.Fatal("NaN observation must be dropped")
+	}
+}
+
+// TestHistogramConcurrentRecording drives one histogram from many
+// goroutines; under -race this proves recording is data-race-free, and
+// the final count/sum prove no observation was lost.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("abw_conc_seconds", "h", DefaultLatencyBuckets)
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g%4) * 0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	wantSum := float64(perG) * 2 * (0.001 + 0.002 + 0.003)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("abw_b_total", "b help", L{"code", "200"}).Add(3)
+	r.Counter("abw_b_total", "b help", L{"code", "404"}).Inc()
+	r.Gauge("abw_a_gauge", "a help").Set(9)
+	h := r.Histogram("abw_c_seconds", "c help", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP abw_a_gauge a help
+# TYPE abw_a_gauge gauge
+abw_a_gauge 9
+# HELP abw_b_total b help
+# TYPE abw_b_total counter
+abw_b_total{code="200"} 3
+abw_b_total{code="404"} 1
+# HELP abw_c_seconds c help
+# TYPE abw_c_seconds histogram
+abw_c_seconds_bucket{le="0.5"} 1
+abw_c_seconds_bucket{le="1"} 2
+abw_c_seconds_bucket{le="+Inf"} 3
+abw_c_seconds_sum 3
+abw_c_seconds_count 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Deterministic: a second write must be byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Fatal("exposition is not deterministic across writes")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("abw_s_total", "h").Add(2)
+	r.Gauge("abw_s_gauge", "h", L{"x", "y"}).Set(-4)
+	h := r.Histogram("abw_s_seconds", "h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	s := r.Snapshot()
+	if s.Counters["abw_s_total"] != 2 {
+		t.Fatalf("snapshot counter = %d, want 2", s.Counters["abw_s_total"])
+	}
+	if s.Gauges[`abw_s_gauge{x="y"}`] != -4 {
+		t.Fatalf("snapshot gauge = %d, want -4", s.Gauges[`abw_s_gauge{x="y"}`])
+	}
+	hs, ok := s.Histograms["abw_s_seconds"]
+	if !ok || hs.Count != 2 || math.Abs(hs.Sum-2.0) > 1e-9 {
+		t.Fatalf("snapshot histogram = %+v, want count 2 sum 2", hs)
+	}
+	if hs.P50 <= 0 || hs.P99 <= hs.P50 {
+		t.Fatalf("quantiles not ordered: %+v", hs)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	key := labelKey([]L{{"path", `a"b\c` + "\n"}})
+	want := `{path="a\"b\\c\n"}`
+	if key != want {
+		t.Fatalf("labelKey = %s, want %s", key, want)
+	}
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Stage names one segment of the query path. The constants below are
+// the complete vocabulary; they appear as the `stage` label on
+// abw_stage_seconds and as keys in a trace's stage list.
+type Stage string
+
+const (
+	// StageRoute is shortest-path resolution in internal/routing.
+	StageRoute Stage = "route"
+	// StageAdmit is one flow's admission check inside a sequential
+	// admission sweep.
+	StageAdmit Stage = "admit"
+	// StageEnumerate is independent-set / clique enumeration in
+	// internal/indepset (the DFS itself, cache misses only).
+	StageEnumerate Stage = "enumerate"
+	// StageMemo is the set-family cache lookup in internal/memo,
+	// whatever its outcome.
+	StageMemo Stage = "memo"
+	// StageSession is a session-level availability/feasibility/idle
+	// memo consultation in internal/core.
+	StageSession Stage = "session"
+	// StageLPSolve is a cold simplex solve in internal/lp.
+	StageLPSolve Stage = "lp_solve"
+	// StageLPWarm is a warm dual re-solve by lp.WarmSolver. A warm
+	// attempt that falls back to a cold solve records under
+	// StageLPSolve instead (the timer is re-staged before End).
+	StageLPWarm Stage = "lp_warm"
+	// StageSchedule is background/link-schedule construction.
+	StageSchedule Stage = "schedule"
+	// StageEstimate is per-estimator bandwidth estimation on the
+	// resolved path.
+	StageEstimate Stage = "estimate"
+)
+
+// StageRecord aggregates every timer that ended on one stage within a
+// span. Wall time is summed, not unioned: concurrent workers in the
+// same stage count their overlap twice, which is the useful number for
+// "where did the CPU go".
+type StageRecord struct {
+	Stage   Stage            `json:"stage"`
+	Calls   int64            `json:"calls"`
+	WallNs  int64            `json:"wallNs"`
+	Sets    int64            `json:"sets,omitempty"`
+	Pivots  int64            `json:"pivots,omitempty"`
+	Workers int              `json:"workers,omitempty"`
+	Warm    int64            `json:"warm,omitempty"`
+	Cache   map[string]int64 `json:"cache,omitempty"`
+}
+
+// Span accumulates the stage records of one query. Create with
+// NewSpan, thread through context.Context with WithSpan/SpanFrom. A
+// nil *Span is the uninstrumented fast path: StartStage returns an
+// inert timer and no clock is read anywhere.
+type Span struct {
+	id    string
+	start int64 // UnixNano at creation
+
+	mu     sync.Mutex
+	stages map[Stage]*StageRecord // guarded by mu
+	order  []Stage                // first-End order, guarded by mu
+}
+
+// NewSpan returns an empty span with the given request id (may be "").
+func NewSpan(id string) *Span {
+	return &Span{id: id, start: now().UnixNano(), stages: make(map[Stage]*StageRecord)}
+}
+
+// ID returns the request id the span was created with ("" on nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+type spanKeyType struct{}
+
+var spanKey spanKeyType
+
+// WithSpan attaches a span to a context. Attaching nil returns the
+// context unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFrom extracts the span from a context, or nil when absent. The
+// nil result is directly usable: all Span methods accept nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StageTimer measures one call into a stage. Obtain with
+// Span.StartStage, finish with End (defer-friendly; End on an inert or
+// already-ended timer is a no-op). The zero StageTimer is inert, so
+// the nil-span path costs a couple of nil checks and zero clock reads.
+//
+// A StageTimer is used by one goroutine; the Span it reports into is
+// what's safe for concurrent use.
+type StageTimer struct {
+	span    *Span
+	stage   Stage
+	startNs int64
+	sets    int64
+	pivots  int64
+	workers int
+	warm    bool
+	outcome string
+	done    bool
+}
+
+// StartStage begins timing one call into stage. On a nil span it
+// returns an inert timer without reading the clock.
+func (s *Span) StartStage(stage Stage) *StageTimer {
+	if s == nil {
+		return nil
+	}
+	return &StageTimer{span: s, stage: stage, startNs: now().UnixNano()}
+}
+
+// SetStage re-labels the timer before End — used when a warm LP
+// attempt falls back to a cold solve and must account under
+// StageLPSolve.
+func (t *StageTimer) SetStage(stage Stage) {
+	if t == nil {
+		return
+	}
+	t.stage = stage
+}
+
+// AddSets notes n enumerated (or cache-served) independent sets.
+func (t *StageTimer) AddSets(n int64) {
+	if t == nil {
+		return
+	}
+	t.sets += n
+}
+
+// AddPivots notes n simplex pivots.
+func (t *StageTimer) AddPivots(n int64) {
+	if t == nil {
+		return
+	}
+	t.pivots += n
+}
+
+// SetWorkers notes the worker count the stage ran with.
+func (t *StageTimer) SetWorkers(n int) {
+	if t == nil {
+		return
+	}
+	t.workers = n
+}
+
+// SetWarm marks the call as a successful warm re-solve.
+func (t *StageTimer) SetWarm(warm bool) {
+	if t == nil {
+		return
+	}
+	t.warm = warm
+}
+
+// SetOutcome tags the call with a cache outcome (hit, miss, diskHit,
+// bypass, merge) counted per stage in the trace.
+func (t *StageTimer) SetOutcome(outcome string) {
+	if t == nil {
+		return
+	}
+	t.outcome = outcome
+}
+
+// End stops the timer and folds it into the span. Safe to defer;
+// second and later calls are no-ops.
+func (t *StageTimer) End() {
+	if t == nil || t.done || t.span == nil {
+		return
+	}
+	t.done = true
+	wall := now().UnixNano() - t.startNs
+	s := t.span
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.stages[t.stage]
+	if rec == nil {
+		rec = &StageRecord{Stage: t.stage}
+		s.stages[t.stage] = rec
+		s.order = append(s.order, t.stage)
+	}
+	rec.Calls++
+	rec.WallNs += wall
+	rec.Sets += t.sets
+	rec.Pivots += t.pivots
+	if t.workers > rec.Workers {
+		rec.Workers = t.workers
+	}
+	if t.warm {
+		rec.Warm++
+	}
+	if t.outcome != "" {
+		if rec.Cache == nil {
+			rec.Cache = make(map[string]int64)
+		}
+		rec.Cache[t.outcome]++
+	}
+}
+
+// TraceData is the JSON "trace" block of a query response: total wall
+// time plus one record per stage in first-completion order.
+type TraceData struct {
+	RequestID string        `json:"requestId,omitempty"`
+	TotalNs   int64         `json:"totalNs"`
+	Stages    []StageRecord `json:"stages"`
+}
+
+// Trace snapshots the span. Total wall time is measured at the call,
+// so take it once, when the query is done. Returns nil on a nil span.
+func (s *Span) Trace() *TraceData {
+	if s == nil {
+		return nil
+	}
+	td := &TraceData{RequestID: s.id, TotalNs: now().UnixNano() - s.start}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	td.Stages = make([]StageRecord, 0, len(s.order))
+	for _, st := range s.order {
+		rec := *s.stages[st]
+		if rec.Cache != nil {
+			// Copy so the snapshot can't race later End calls; sorted
+			// iteration isn't needed for a map copy, but callers
+			// serialize via encoding/json, which sorts keys.
+			c := make(map[string]int64, len(rec.Cache))
+			for k, v := range rec.Cache {
+				c[k] = v
+			}
+			rec.Cache = c
+		}
+		td.Stages = append(td.Stages, rec)
+	}
+	return td
+}
+
+// StageNames returns the stages recorded so far, sorted — test helper
+// and slow-query-log summary.
+func (s *Span) StageNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.stages))
+	for st := range s.stages {
+		names = append(names, string(st))
+	}
+	sort.Strings(names)
+	return names
+}

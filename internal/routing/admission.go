@@ -13,6 +13,7 @@ import (
 	"abw/internal/estimate"
 	"abw/internal/graph"
 	"abw/internal/lp"
+	"abw/internal/obs"
 	"abw/internal/schedule"
 	"abw/internal/topology"
 )
@@ -118,11 +119,15 @@ func admitOne(
 	if req.Demand <= 0 {
 		return dec, fmt.Errorf("routing: request demand must be positive, got %g", req.Demand)
 	}
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageAdmit)
+	defer tm.End()
 	idle, err := backgroundIdleness(ctx, net, m, admitted, coreOpts, sess)
 	if err != nil {
 		return dec, err
 	}
+	rt := obs.SpanFrom(ctx).StartStage(obs.StageRoute)
 	path, err := FindPath(net, m, metric, idle, req.Src, req.Dst)
+	rt.End()
 	if errors.Is(err, graph.ErrNoPath) {
 		dec.Reason = "no route"
 		return dec, nil

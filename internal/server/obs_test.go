@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"abw/internal/obs"
+)
+
+func newObsServer(t *testing.T) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	s := New()
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+	resp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("healthz POST: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestReadyzTracksNetworkInstall(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/readyz", "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before install: %d %v, want 503", code, body)
+	}
+	install(t, ts)
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/readyz", "")
+	if code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz after install: %d %v", code, body)
+	}
+}
+
+func TestMetricsEndpointDisabled(t *testing.T) {
+	ts := newTestServer(t)
+	code, _ := doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("metrics without registry: %d, want 404", code)
+	}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("scrape content type: %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue extracts one series' value from an exposition body.
+func metricValue(t *testing.T, body, series string) (float64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			var v float64
+			if _, err := fmtSscan(strings.TrimPrefix(line, series+" "), &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	var err error
+	*v, err = parseFloat(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	var v float64
+	err := json.Unmarshal([]byte(s), &v)
+	return v, err
+}
+
+func TestMetricsExposeHTTPAndStageSeries(t *testing.T) {
+	s, ts, _ := newObsServer(t)
+	s.SetCacheBytes(0) // enable the memo cache so the cache series move
+	install(t, ts)
+
+	const queries = 3
+	for i := 0; i < queries; i++ {
+		code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/query", `{"src":0,"dst":4}`)
+		if code != http.StatusOK {
+			t.Fatalf("query %d: %d %v", i, code, body)
+		}
+	}
+
+	exp := scrape(t, ts.URL)
+	if v, ok := metricValue(t, exp, `abw_http_request_seconds_count{handler="query"}`); !ok || v != queries {
+		t.Fatalf("query histogram count = %v (ok=%v), want %d\n%s", v, ok, queries, exp)
+	}
+	if v, ok := metricValue(t, exp, `abw_http_requests_total{code="200",handler="query"}`); !ok || v != queries {
+		t.Fatalf("query request counter = %v (ok=%v), want %d", v, ok, queries)
+	}
+	// Stage series recorded through the folded spans.
+	for _, series := range []string{
+		`abw_stage_seconds_count{stage="enumerate"}`,
+		`abw_stage_seconds_count{stage="lp_warm"}`,
+		`abw_stage_seconds_count{stage="schedule"}`,
+		`abw_stage_seconds_count{stage="estimate"}`,
+	} {
+		if v, ok := metricValue(t, exp, series); !ok || v <= 0 {
+			t.Fatalf("%s = %v (ok=%v), want > 0\n%s", series, v, ok, exp)
+		}
+	}
+	if v, ok := metricValue(t, exp, `abw_enumerated_sets_total{stage="enumerate"}`); !ok || v <= 0 {
+		t.Fatalf("enumerated sets = %v (ok=%v), want > 0", v, ok)
+	}
+
+	// The cache gauges reconcile with /v1/stats: same counters, same
+	// snapshot source.
+	_, stats := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", "")
+	cache := stats["cache"].(map[string]interface{})
+	exp = scrape(t, ts.URL) // re-scrape: the stats request itself is not in the old body
+	if v, ok := metricValue(t, exp, "abw_cache_lookups"); !ok || v != cache["lookups"].(float64) {
+		t.Fatalf("abw_cache_lookups = %v, /v1/stats lookups = %v", v, cache["lookups"])
+	}
+	if v, ok := metricValue(t, exp, "abw_cache_hits"); !ok || v != cache["hits"].(float64) {
+		t.Fatalf("abw_cache_hits = %v, /v1/stats hits = %v", v, cache["hits"])
+	}
+
+	// /v1/stats carries the metrics snapshot when observability is on.
+	if _, ok := stats["metrics"]; !ok {
+		t.Fatalf("stats missing metrics snapshot: %v", stats)
+	}
+}
+
+func TestQueryTraceBlock(t *testing.T) {
+	s, ts, _ := newObsServer(t)
+	s.SetCacheBytes(0)
+	install(t, ts)
+
+	// Untraced query: no trace key in the response.
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/query", `{"src":0,"dst":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, body)
+	}
+	if _, present := body["trace"]; present {
+		t.Fatalf("untraced response carries a trace block: %v", body)
+	}
+
+	// Traced query: stages present, request id echoed.
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/query", `{"src":0,"dst":4,"trace":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("traced query: %d %v", code, body)
+	}
+	trace, ok := body["trace"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("no trace block: %v", body)
+	}
+	if trace["totalNs"].(float64) <= 0 {
+		t.Fatalf("trace totalNs: %v", trace)
+	}
+	if trace["requestId"].(string) == "" {
+		t.Fatalf("trace missing request id: %v", trace)
+	}
+	stages := trace["stages"].([]interface{})
+	seen := map[string]bool{}
+	for _, st := range stages {
+		seen[st.(map[string]interface{})["stage"].(string)] = true
+	}
+	// The earlier untraced query warmed the memo cache, so this trace
+	// shows the hit path: memo lookups but no fresh enumeration.
+	for _, want := range []string{"route", "memo", "schedule", "estimate"} {
+		if !seen[want] {
+			t.Fatalf("trace missing stage %q: %v", want, seen)
+		}
+	}
+	if seen["enumerate"] {
+		t.Fatalf("cache-hit trace should not re-enumerate: %v", seen)
+	}
+}
+
+// TestUntracedResponseByteIdenticalToPlainServer pins the wire-level
+// invariant: the same query against an instrumented server and a bare
+// one produces the same body bytes (headers differ: X-Request-Id).
+func TestUntracedResponseByteIdenticalToPlainServer(t *testing.T) {
+	plain := newTestServer(t)
+	install(t, plain)
+	s, instrumented, _ := newObsServer(t)
+	s.SetSlowQuery(time.Nanosecond) // arm everything that must not leak into the body
+	install(t, instrumented)
+
+	body := `{"src":0,"dst":4,"demandMbps":1.0}`
+	read := func(url string) string {
+		resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := read(plain.URL), read(instrumented.URL)
+	if a != b {
+		t.Fatalf("instrumented body differs from plain:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	s := New()
+	reg := obs.NewRegistry()
+	var logBuf syncBuffer
+	s.SetMetrics(reg)
+	s.SetLogger(obs.NewLogger(&logBuf, "info"))
+	s.SetSlowQuery(time.Nanosecond) // everything is slow
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	install(t, ts)
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/query", `{"src":0,"dst":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, body)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, `"msg":"slow query"`) {
+		t.Fatalf("no slow-query log line in:\n%s", logged)
+	}
+	if !strings.Contains(logged, `"requestId"`) || !strings.Contains(logged, "enumerate") {
+		t.Fatalf("slow-query line missing trace detail:\n%s", logged)
+	}
+	exp := scrape(t, ts.URL)
+	if v, ok := metricValue(t, exp, "abw_slow_queries_total"); !ok || v <= 0 {
+		t.Fatalf("abw_slow_queries_total = %v (ok=%v), want > 0", v, ok)
+	}
+	// Request logging rides the same logger.
+	if !strings.Contains(logged, `"msg":"request"`) || !strings.Contains(logged, `"handler":"query"`) {
+		t.Fatalf("no request log line in:\n%s", logged)
+	}
+}
+
+func TestRequestIDEchoedAndPropagated(t *testing.T) {
+	_, ts, _ := newObsServer(t)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-chosen-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-chosen-7" {
+		t.Fatalf("request id not echoed: %q", got)
+	}
+	// Minted when absent.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("no request id minted")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for log capture.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

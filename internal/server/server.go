@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -40,6 +41,7 @@ import (
 	"abw/internal/lp"
 	"abw/internal/memo"
 	"abw/internal/netjson"
+	"abw/internal/obs"
 	"abw/internal/radio"
 	"abw/internal/routing"
 	"abw/internal/schedule"
@@ -64,6 +66,12 @@ type Server struct {
 	// Handlers derive their context from the request's, so a client
 	// disconnect cancels the same way a deadline does.
 	queryTimeout time.Duration
+
+	// Observability (obs.go): all three default off, and the nil fast
+	// path keeps the uninstrumented server byte-identical.
+	metrics   *obs.Registry
+	logger    *slog.Logger
+	slowQuery time.Duration
 
 	// admitMu serializes admission decisions (snapshot → compute →
 	// commit) without blocking read-only queries on the state mutex.
@@ -228,7 +236,9 @@ func (s *Server) Close() error {
 	return cache.Close()
 }
 
-// Handler returns the HTTP handler for the API.
+// Handler returns the HTTP handler for the API. With observability
+// configured (SetMetrics/SetLogger/SetSlowQuery) the mux is wrapped by
+// the instrumentation middleware; otherwise it is returned as-is.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/network", s.handleNetwork)
@@ -239,7 +249,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/fairshare", s.handleFairshare)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return s.instrument(mux)
 }
 
 type errorBody struct {
@@ -331,6 +344,8 @@ type queryRequest struct {
 	Dst    *int    `json:"dst,omitempty"`
 	Metric string  `json:"metric,omitempty"`
 	Demand float64 `json:"demandMbps,omitempty"`
+	// Trace asks for the per-stage trace block in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type queryResponse struct {
@@ -339,6 +354,9 @@ type queryResponse struct {
 	Admit     *bool              `json:"wouldAdmit,omitempty"`
 	PathNodes []int              `json:"pathNodes"`
 	Estimates map[string]float64 `json:"estimates"`
+	// Trace is present only when the request asked for it; its absence
+	// keeps untraced responses byte-identical to the pre-obs wire form.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -357,9 +375,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancelCtx := s.queryContext(r)
 	defer cancelCtx()
+	span := s.querySpan(obs.RequestIDFrom(r.Context()), req.Trace)
+	ctx = obs.WithSpan(ctx, span)
 	// Everything below runs unlocked: queries never block state access.
 	path, err := s.resolvePath(ctx, snap, req.Path, req.Src, req.Dst, req.Metric)
 	if err != nil {
+		s.finishQuerySpan(span, false)
 		if errors.Is(err, cancel.ErrCanceled) {
 			writeComputeError(w, err)
 			return
@@ -369,6 +390,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.availability(ctx, snap, path)
 	if err != nil {
+		s.finishQuerySpan(span, false)
 		writeComputeError(w, err)
 		return
 	}
@@ -376,6 +398,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		admit := resp.Feasible && resp.Bandwidth+1e-9 >= req.Demand
 		resp.Admit = &admit
 	}
+	resp.Trace = s.finishQuerySpan(span, req.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -430,6 +453,9 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancelCtx := s.queryContext(r)
 		defer cancelCtx()
+		span := s.querySpan(obs.RequestIDFrom(r.Context()), false)
+		ctx = obs.WithSpan(ctx, span)
+		defer func() { s.finishQuerySpan(span, false) }()
 		path, err := s.resolvePath(ctx, snap, nil, &req.Src, &req.Dst, req.Metric)
 		if err != nil {
 			if errors.Is(err, cancel.ErrCanceled) {
@@ -610,6 +636,8 @@ func (s *Server) resolvePath(ctx context.Context, snap *snapshot, nodeIDs []int,
 	if err != nil {
 		return nil, err
 	}
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageRoute)
+	defer tm.End()
 	return routing.FindPath(snap.net, snap.model, metric, idle, topology.NodeID(*src), topology.NodeID(*dst))
 }
 
@@ -626,6 +654,8 @@ func (s *Server) idleness(ctx context.Context, snap *snapshot) ([]float64, error
 // snapshot's background, memoized through the session when one is
 // active.
 func (s *Server) backgroundSchedule(ctx context.Context, snap *snapshot) (schedule.Schedule, error) {
+	tm := obs.SpanFrom(ctx).StartStage(obs.StageSchedule)
+	defer tm.End()
 	if snap.sess == nil {
 		return routing.BackgroundScheduleContext(ctx, snap.model, snap.background, snap.opts)
 	}
@@ -674,11 +704,14 @@ func (s *Server) availability(ctx context.Context, snap *snapshot, path topology
 	if err != nil {
 		return nil, err
 	}
+	et := obs.SpanFrom(ctx).StartStage(obs.StageEstimate)
 	ps, err := estimate.PathStateFromSchedule(snap.net, snap.model, sched, path)
 	if err != nil {
+		et.End()
 		return nil, err
 	}
 	ests, err := estimate.EstimateAll(snap.model, ps)
+	et.End()
 	if err != nil {
 		return nil, err
 	}
@@ -697,10 +730,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	cache := s.cache
 	s.mu.Unlock()
+	// Metrics is nil when observability is off, and the omitempty keeps
+	// the stats body byte-identical to the pre-obs wire form then.
 	writeJSON(w, http.StatusOK, struct {
-		CacheEnabled bool       `json:"cacheEnabled"`
-		Cache        memo.Stats `json:"cache"`
-	}{CacheEnabled: cache != nil, Cache: cache.Stats()})
+		CacheEnabled bool          `json:"cacheEnabled"`
+		Cache        memo.Stats    `json:"cache"`
+		Metrics      *obs.Snapshot `json:"metrics,omitempty"`
+	}{CacheEnabled: cache != nil, Cache: cache.Stats(), Metrics: s.metrics.Snapshot()})
 }
 
 func (s *Server) backgroundLocked() []core.Flow {

@@ -31,7 +31,7 @@ fail() {
 
 go build -o "$bin" ./cmd/abwd
 
-"$bin" -addr 127.0.0.1:0 -cachedir "$cachedir" -querytimeout 30s >"$log" 2>&1 &
+"$bin" -addr 127.0.0.1:0 -cachedir "$cachedir" -querytimeout 30s -slowquery 10m >"$log" 2>&1 &
 pid=$!
 
 # The daemon announces its resolved address (port 0 picks a free one).
@@ -45,13 +45,27 @@ done
 [ -n "$addr" ] || fail "abwd never announced its listen address"
 base="http://$addr"
 
+# Probes: alive as soon as the listener is up, not ready until a
+# network is installed.
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$base/healthz")
+[ "$code" = "200" ] || fail "healthz answered $code"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$base/readyz")
+[ "$code" = "503" ] || fail "readyz before install answered $code, want 503"
+
 # Install a 5-node 100m chain (the server tests' fixture).
 out=$(curl -sS -f -X PUT -d '{"nodes":[{"x":0,"y":0},{"x":100,"y":0},{"x":200,"y":0},{"x":300,"y":0},{"x":400,"y":0}]}' "$base/v1/network")
 echo "$out" | grep -q '"installed":true' || fail "network install answered: $out"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "$base/readyz")
+[ "$code" = "200" ] || fail "readyz after install answered $code, want 200"
 
 # Availability query end to end (routing + enumeration + LP).
 out=$(curl -sS -f -X POST -d '{"src":0,"dst":4}' "$base/v1/query")
 echo "$out" | grep -q '"feasible":true' || fail "query answered: $out"
+
+# A traced query carries the per-stage block; the answer is unchanged.
+out=$(curl -sS -f -X POST -d '{"src":0,"dst":4,"trace":true}' "$base/v1/query")
+echo "$out" | grep -q '"feasible":true' || fail "traced query answered: $out"
+echo "$out" | grep -q '"trace"' || fail "traced query carries no trace block: $out"
 
 # Admit a flow and read it back.
 out=$(curl -sS -f -X POST -d '{"src":0,"dst":4,"demandMbps":1}' "$base/v1/flows")
@@ -63,6 +77,22 @@ echo "$out" | grep -q '"id":1' || fail "flow listing answered: $out"
 out=$(curl -sS -f "$base/v1/stats")
 echo "$out" | grep -q '"cacheEnabled":true' || fail "stats answered: $out"
 echo "$out" | grep -q '"cancellations":0' || fail "stats missing cancellations: $out"
+echo "$out" | grep -q '"metrics"' || fail "stats missing the metrics snapshot: $out"
+stats_lookups=$(echo "$out" | sed -n 's/.*"lookups":\([0-9]*\).*/\1/p' | head -1)
+
+# Prometheus exposition: the query-latency histogram must count exactly
+# the query requests served (one plain, one traced), and the cache
+# gauges must reconcile with the /v1/stats counters.
+metrics=$(curl -sS -f "$base/metrics")
+qcount=$(echo "$metrics" | sed -n 's/^abw_http_request_seconds_count{handler="query"} //p')
+[ "$qcount" = "2" ] || fail "query histogram count is '$qcount', want 2"
+echo "$metrics" | grep -q '^abw_http_requests_total{code="200",handler="query"} 2$' \
+    || fail "query request counter off: $(echo "$metrics" | grep abw_http_requests_total)"
+echo "$metrics" | grep -q '^abw_stage_seconds_count{stage="enumerate"} [1-9]' \
+    || fail "no enumerate stage samples: $(echo "$metrics" | grep abw_stage_seconds_count)"
+m_lookups=$(echo "$metrics" | sed -n 's/^abw_cache_lookups //p')
+[ -n "$stats_lookups" ] && [ "$m_lookups" = "$stats_lookups" ] \
+    || fail "abw_cache_lookups=$m_lookups does not reconcile with /v1/stats lookups=$stats_lookups"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$pid"
@@ -70,6 +100,12 @@ status=0
 wait "$pid" || status=$?
 [ "$status" -eq 0 ] || fail "abwd exited $status after SIGTERM"
 grep -q "draining" "$log" || fail "shutdown never logged the drain"
+# The structured shutdown log reports the drain duration and the final
+# flushed byte counts.
+grep -q '"msg":"drained"' "$log" || fail "no structured drain-complete log line"
+grep -q '"drainMs"' "$log" || fail "drain log missing drainMs"
+grep -q '"msg":"shutdown complete"' "$log" || fail "no structured shutdown-complete log line"
+grep -q '"diskBytes"' "$log" || fail "shutdown log missing diskBytes"
 pid=""
 
 # The drain must have flushed the set-family spill to disk.

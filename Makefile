@@ -2,7 +2,7 @@ GO ?= go
 
 # The tier-1 benchmarks the regression gate watches: the end-to-end
 # query, the enumeration and LP hot paths, and the simulator kernels.
-TIER1_BENCH = ^(BenchmarkAvailableBandwidthQuery|BenchmarkEnumerateScenarioII|BenchmarkSolveEq6Shape|BenchmarkRunScheduleScenarioII|BenchmarkRunFlowsScenarioII|BenchmarkCSMAScenarioI|BenchmarkAdmitSequenceCold|BenchmarkAdmitSequenceWarm)$$
+TIER1_BENCH = ^(BenchmarkAvailableBandwidthQuery|BenchmarkEnumerateScenarioII|BenchmarkSolveEq6Shape|BenchmarkRunScheduleScenarioII|BenchmarkRunFlowsScenarioII|BenchmarkCSMAScenarioI|BenchmarkAdmitSequenceCold|BenchmarkAdmitSequenceWarm|BenchmarkAdmitSequenceDelta)$$
 BENCH_COUNT ?= 5
 BENCH_JSON ?= BENCH_$(shell date -u +%Y-%m-%d).json
 

@@ -1,12 +1,15 @@
 package abw
 
 import (
+	"context"
 	"testing"
 
 	"abw/internal/core"
 	"abw/internal/experiments"
+	"abw/internal/indepset"
 	"abw/internal/memo"
 	"abw/internal/routing"
+	"abw/internal/topology"
 )
 
 // One benchmark per paper artifact (DESIGN.md Sec. 2). Each bench
@@ -156,6 +159,76 @@ func BenchmarkAdmitSequenceCold(b *testing.B) { benchAdmitSequence(b, nil) }
 // BenchmarkAdmitSequenceWarm runs the same sequence with the cache and
 // LP warm-starting enabled — the long-lived controller workload.
 func BenchmarkAdmitSequenceWarm(b *testing.B) { benchAdmitSequence(b, memo.New(0)) }
+
+// benchAdmitGrowth is the Sec. 5.2 install workload the delta path
+// exists for: flows whose paths extend hop by hop down a chain, so each
+// admission step grows the enumeration universe by one link and misses
+// the exact-key cache. The setup runs the real admission once to
+// capture the per-install-step universes (LinkUnion of the admitted
+// background plus the candidate path, exactly what admitOne hands to
+// the availability query); the timed loop then replays the per-step
+// family derivation through the memo cache. A fresh cache per iteration
+// keeps every step on the growth path (a shared cache would degenerate
+// to pure hits after the first iteration). With delta on, each step
+// warm-starts from the previous step's family via the survivor strip +
+// new-link walk; with delta off, it re-enumerates the grown universe
+// from scratch — the cost gap is the tentpole's per-install speedup.
+// The LP and routing stages are identical either way (pinned by the
+// routing property tests), so they stay out of the timed loop.
+func benchAdmitGrowth(b *testing.B, delta bool) {
+	b.Helper()
+	sys, err := NewSystem(Line(27, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, m := sys.Network(), sys.Model()
+	reqs := make([]routing.Request, 0, 25)
+	for dst := topology.NodeID(2); dst <= 26; dst++ {
+		reqs = append(reqs, routing.Request{Src: 0, Dst: dst, Demand: 0.05})
+	}
+	decs, err := routing.SequentialAdmission(net, m, routing.MetricHopCount, reqs,
+		routing.AdmissionOptions{Core: core.Options{Cache: memo.New(0)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(decs) != len(reqs) {
+		b.Fatalf("%d decisions for %d requests", len(decs), len(reqs))
+	}
+	universes := make([][]topology.LinkID, 0, len(decs))
+	var admitted []topology.Path
+	for _, dec := range decs {
+		universes = append(universes, topology.LinkUnion(append(admitted[:len(admitted):len(admitted)], dec.Path)...))
+		if dec.Admitted {
+			admitted = append(admitted, dec.Path)
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := memo.New(0)
+		cache.SetDeltaEnabled(delta)
+		for _, u := range universes {
+			if _, err := cache.EnumerateContext(ctx, m, u, indepset.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := cache.Stats(); delta && st.DeltaHits == 0 {
+			b.Fatalf("growth workload never took the delta path: %+v", st)
+		}
+	}
+}
+
+// BenchmarkAdmitSequenceDelta runs the growing-universe install
+// sequence with delta enumeration on: each step's set family is grown
+// from the previous step's by per-link warm-start walks.
+func BenchmarkAdmitSequenceDelta(b *testing.B) { benchAdmitGrowth(b, true) }
+
+// BenchmarkAdmitSequenceGrowthFull is the same install sequence with
+// the delta path off — every step pays a full enumeration of the grown
+// universe. The ratio to BenchmarkAdmitSequenceDelta is the per-install
+// speedup the tier-1 gate protects.
+func BenchmarkAdmitSequenceGrowthFull(b *testing.B) { benchAdmitGrowth(b, false) }
 
 // BenchmarkDemandSweep regenerates E11 (the Fig. 4 estimator-error
 // sweep across background demand levels).

@@ -119,6 +119,36 @@ func BenchmarkEnumerateTableRandom(b *testing.B) {
 	}
 }
 
+// TestEnumeratePairwiseAllocs pins the steady-state allocation count of
+// the sequential pairwise walk (also visible as allocs/op under
+// `go test -bench=EnumerateTableRandom -benchmem`). The clear-mask
+// table is slab-backed (three allocations however many links) and the
+// worker's avail/saved/member scratch comes from a pool, so per-call
+// allocations are a small constant plus the returned family itself —
+// nowhere near the old n^2 mask slices. This walk measured ~115
+// allocs/op when pinned (dominated by the returned sets and their
+// cached keys); the bound leaves noise headroom while still catching a
+// per-pair regression, which would add ~100 on its own.
+func TestEnumeratePairwiseAllocs(t *testing.T) {
+	net, path, err := topology.Chain(radio.NewProfile80211a(), 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := conflict.NewProtocol(net)
+	links := []topology.LinkID(path)
+	run := func() {
+		if _, err := Enumerate(m, links, Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch pool
+	allocs := testing.AllocsPerRun(50, run)
+	const maxAllocs = 150
+	if allocs > maxAllocs {
+		t.Fatalf("sequential pairwise Enumerate: %.0f allocs/op, want <= %d", allocs, maxAllocs)
+	}
+}
+
 // Worker-scaling benchmarks: the same enumeration at 1/2/4/8 workers on
 // the biggest walks above. On a multi-core machine the mesh walk is
 // wide enough (40 links) to show near-linear scaling; compare with

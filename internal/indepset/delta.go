@@ -1,0 +1,472 @@
+// Delta enumeration: compute the maximal-set family of a universe grown
+// by one link from the cached family of the base universe, without
+// re-walking the base lattice. The grown family decomposes exactly:
+//
+//	family(U ∪ {l}) = survivors(family(U)) ∪ {maximal sets containing l}
+//
+// A set without l is maximal over U ∪ {l} iff it was maximal over U and
+// l cannot join it with every member keeping its rate: rate-maximality
+// involves only the members (universe-independent), and link-maximality
+// over the old links is untouched by growth — only the l-clause is new.
+// Part (b) runs first: a DFS over the l-containing slice of the lattice
+// with l pushed from the root, branching over the remaining links in
+// descending-conflict order so l's interference prunes subtrees at
+// their shallowest node (feasibility, the budget and maximality are all
+// branch-order independent; see the order helpers). Part (a) then needs
+// no model replay at all — a base set is displaced exactly when some
+// walked set equals it plus l, bytes for bytes (the strip rule proved
+// at stripSurvivors) — so survival is one couple-hash lookup per cached
+// set against the freshly walked family.
+//
+// Exploration accounting carries over too: both walk families charge
+// their budget once per feasible leaf, and a leaf over U ∪ {l} either
+// contains l (charged by part (b)) or is a leaf over U (charged by the
+// base enumeration). Seeding the budget with the base count therefore
+// reproduces the full walk's ErrLimit verdict exactly; see
+// EnumeratePartialCounted for where the seed comes from.
+package indepset
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+
+	"abw/internal/conflict"
+	"abw/internal/radio"
+	"abw/internal/topology"
+)
+
+// ErrDeltaUnsupported reports that the delta path cannot serve this
+// model or universe shape (brute-force-walk models, or pairwise
+// universes beyond 64 positive rates per link). Callers fall back to
+// full enumeration; the fallback is always correct, the delta path is
+// only ever an optimization.
+var ErrDeltaUnsupported = errors.New("indepset: delta enumeration unsupported for this model or universe")
+
+// DeltaBase is a complete enumeration result to warm-start from: the
+// canonical (sorted, deduplicated) universe it was enumerated over, its
+// full maximal-set family in key order, and the exact exploration count
+// the walk charged (EnumeratePartialCounted). Truncated families must
+// never be used as bases — their set list and count are both partial.
+type DeltaBase struct {
+	Universe []topology.LinkID
+	Sets     []Set
+	Explored int64
+}
+
+// EnumerateDelta returns the maximal-set family over base.Universe plus
+// one more link, byte-identical to Enumerate over the grown universe
+// under the same Options, along with the grown universe's exploration
+// count (a valid DeltaBase.Explored for chaining). The model must be
+// the one the base was enumerated under. Errors: ErrDeltaUnsupported
+// (caller should fall back to Enumerate), ErrLimit (the grown universe
+// would trip Options.Limit — a full walk would too), or ErrCanceled.
+func EnumerateDelta(ctx context.Context, m conflict.Model, base DeltaBase, link topology.LinkID, opts Options) ([]Set, int64, error) {
+	universe := dedupSorted(append(append([]topology.LinkID(nil), base.Universe...), link))
+	if len(universe) == len(base.Universe) {
+		// Link already present: the family is unchanged.
+		return append([]Set(nil), base.Sets...), base.Explored, nil
+	}
+	lpos := searchLinks(universe, link)
+	limit := opts.limit()
+	switch mm := m.(type) {
+	case *conflict.Physical:
+		return deltaPhysical(ctx, mm, base, universe, lpos, limit)
+	case conflict.PairwiseModel:
+		return deltaPairwise(ctx, mm, base, universe, lpos, limit)
+	default:
+		return nil, 0, ErrDeltaUnsupported
+	}
+}
+
+// searchLinks returns the position of l in the sorted universe, or -1.
+func searchLinks(universe []topology.LinkID, l topology.LinkID) int {
+	lo := sort.Search(len(universe), func(i int) bool { return universe[i] >= l })
+	if lo < len(universe) && universe[lo] == l {
+		return lo
+	}
+	return -1
+}
+
+func deltaPhysical(ctx context.Context, m *conflict.Physical, base DeltaBase, universe []topology.LinkID, lpos, limit int) ([]Set, int64, error) {
+	n := len(universe)
+	e := &physicalEnum{
+		m:        m,
+		ctx:      ctx,
+		universe: universe,
+		minRate:  make([]radio.Rate, n),
+		n:        n,
+		budget:   newSeededBudget(limit, base.Explored),
+	}
+	for i, l := range universe {
+		e.minRate[i] = m.MinPositiveRate(l)
+	}
+	//lint:ignore abw/floateq Rate 0 is the exact no-declared-rate sentinel, never a computed float
+	if e.minRate[lpos] == 0 {
+		// The new link can neither join an old set nor appear in a new
+		// one; the family and the exploration count are unchanged.
+		return append([]Set(nil), base.Sets...), base.Explored, nil
+	}
+	w := newPhysicalWorker(e)
+	w.push(lpos)
+	err := w.recDelta(0, physicalDeltaOrder(m, universe, lpos))
+	w.pop()
+	if err != nil {
+		return nil, 0, err
+	}
+	sortByKey(w.out)
+	return mergeByKey(stripSurvivors(base.Sets, w.out, universe[lpos]), w.out), e.budget.count(), nil
+}
+
+// physicalDeltaOrder returns the branch order of the delta walk: every
+// position except lpos, strongest conflictors of the grown link first
+// (node sharers above all — they block it outright — then by mutual
+// interference power, ties by position). Branch order is free to
+// choose: feasibility is monotone and member-order-independent, so the
+// walk visits the same feasible subsets in any order, and the final
+// sort restores canonical emission. Fronting l's conflictors makes the
+// subtrees that would die of l's interference die at the root instead
+// of one level above the leaves.
+func physicalDeltaOrder(m *conflict.Physical, universe []topology.LinkID, lpos int) []int {
+	net := m.Network()
+	l := universe[lpos]
+	ll, lerr := net.Link(l)
+	threat := make([]float64, len(universe))
+	order := make([]int, 0, len(universe)-1)
+	for p, id := range universe {
+		if p == lpos {
+			continue
+		}
+		threat[p] = m.InterferencePower(id, l) + m.InterferencePower(l, id)
+		if lerr == nil {
+			if pl, err := net.Link(id); err == nil && conflict.SharesNode(ll, pl) {
+				threat[p] = math.Inf(1)
+			}
+		}
+		order = append(order, p)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if threat[a] > threat[b] {
+			return true
+		}
+		if threat[a] < threat[b] {
+			return false
+		}
+		return a < b
+	})
+	return order
+}
+
+// stripSurvivors returns the base sets that stay maximal once l joins
+// the universe. A base set S is displaced exactly when l can join it
+// with every member keeping its rate — and then S ∪ {l}, with those
+// very rates, is itself maximal over the grown universe: no outside
+// link that couldn't join S can join S ∪ {l} (l only adds
+// constraints), no member can be raised (S was rate-maximal under
+// fewer constraints), and l sits at its best joining rate. So the
+// displaced sets are precisely the walked sets minus l, bytes for
+// bytes — rates included, since a join that lowered any member's rate
+// would not displace S but coexist with it. One couple-hash lookup per
+// base set decides survival (hash hits are verified structurally, so a
+// collision can never mislabel a set); no model replay, no key-string
+// materialization.
+func stripSurvivors(base, grown []Set, l topology.LinkID) []Set {
+	// head/next chain grown-set indices per stripped-couples hash.
+	head := make(map[uint64]int32, len(grown))
+	next := make([]int32, len(grown))
+	for gi, g := range grown {
+		h := fnvOffset
+		for _, c := range g.Couples {
+			if c.Link != l {
+				h = hashCouple(h, c)
+			}
+		}
+		if prev, ok := head[h]; ok {
+			next[gi] = prev
+		} else {
+			next[gi] = -1
+		}
+		head[h] = int32(gi)
+	}
+	out := make([]Set, 0, len(base))
+	for _, s := range base {
+		h := fnvOffset
+		for _, c := range s.Couples {
+			h = hashCouple(h, c)
+		}
+		displaced := false
+		if gi, ok := head[h]; ok {
+			for ; gi >= 0; gi = next[gi] {
+				if strippedEqual(grown[gi].Couples, s.Couples, l) {
+					displaced = true
+					break
+				}
+			}
+		}
+		if !displaced {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FNV-1a constants for hashing couple sequences.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashCouple folds one couple into an FNV-1a state: the link and the
+// rate's exact bit pattern, so two couple lists hash equal only when
+// links and rates match bit for bit (modulo 64-bit collisions, which
+// strippedEqual screens out).
+func hashCouple(h uint64, c conflict.Couple) uint64 {
+	h ^= uint64(c.Link)
+	h *= fnvPrime
+	h ^= math.Float64bits(float64(c.Rate))
+	h *= fnvPrime
+	return h
+}
+
+// strippedEqual reports whether the grown set's couples minus l equal
+// the base set's couples exactly — same links, same rates, in the same
+// canonical ascending-link order both sides store.
+func strippedEqual(g, s []conflict.Couple, l topology.LinkID) bool {
+	if len(g) != len(s)+1 {
+		return false
+	}
+	j := 0
+	for _, c := range g {
+		if c.Link == l {
+			continue
+		}
+		if j == len(s) || c != s[j] {
+			return false
+		}
+		j++
+	}
+	return j == len(s)
+}
+
+// recDelta walks every subset containing the grown link, which the
+// caller has already pushed: it is the plain walk over the remaining
+// positions in the given branch order. Visiting each node through
+// visitDelta makes the grown link's interference prune natively — a
+// branch dies the moment any member is silenced, exactly the plain
+// walk's prune but conditioned on the grown link from the root — so
+// the walk touches only that link's slice of the lattice, with no
+// per-node join checks beyond what a fresh walk would pay.
+func (w *physicalWorker) recDelta(start int, order []int) error {
+	if err := w.chk.Check(); err != nil {
+		return err
+	}
+	ok, err := w.visitDelta()
+	if !ok || err != nil {
+		return err
+	}
+	for oi := start; oi < len(order); oi++ {
+		w.push(order[oi])
+		err := w.recDelta(oi+1, order)
+		w.pop()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// visitDelta is visit for the delta walk, where members sit in branch
+// order rather than ascending position: feasibility, budget and
+// maximality are member-order-independent (tracker sums and the
+// isMember table), only materialization must re-establish the
+// canonical ascending-position couple order, by insertion-sorting the
+// freshly appended couples (member counts are small; the sort is a
+// handful of swaps).
+func (w *physicalWorker) visitDelta() (ok bool, err error) {
+	e := w.e
+	for d, mi := range w.members {
+		r := w.tr.MaxRate(mi)
+		//lint:ignore abw/floateq Rate 0 is the exact silenced-link sentinel MaxRate returns, never a computed float
+		if r == 0 {
+			return false, nil
+		}
+		w.rateBuf[d] = r
+	}
+	if !e.budget.take() {
+		return false, ErrLimit
+	}
+	if physicalMaximal(w.tr, w.members, w.isMember, w.rateBuf, e.minRate, e.n) {
+		if cap(w.arena)-len(w.arena) < len(w.members) {
+			w.arena = make([]conflict.Couple, 0, 16*e.n)
+		}
+		base := len(w.arena)
+		for d, mi := range w.members {
+			w.arena = append(w.arena, conflict.Couple{Link: e.universe[mi], Rate: w.rateBuf[d]})
+			for k := len(w.arena) - 1; k > base && w.arena[k-1].Link > w.arena[k].Link; k-- {
+				w.arena[k-1], w.arena[k] = w.arena[k], w.arena[k-1]
+			}
+		}
+		couples := w.arena[base:len(w.arena):len(w.arena)]
+		w.out = append(w.out, Set{Couples: couples})
+	}
+	return true, nil
+}
+
+func deltaPairwise(ctx context.Context, m conflict.PairwiseModel, base DeltaBase, universe []topology.LinkID, lpos, limit int) ([]Set, int64, error) {
+	n := len(universe)
+	rates, maxRates := positiveRates(m, universe)
+	if maxRates > 64 {
+		// The wide walk has no delta twin; fall back to a full walk.
+		return nil, 0, ErrDeltaUnsupported
+	}
+	if len(rates[lpos]) == 0 {
+		// No positive declared rate: the link can neither join an old
+		// set nor appear in a new one.
+		return append([]Set(nil), base.Sets...), base.Explored, nil
+	}
+	e := &pairwiseEnum{
+		ctx:      ctx,
+		universe: universe,
+		rates:    rates,
+		clear:    buildClearTable(m, universe, rates),
+		n:        n,
+		budget:   newSeededBudget(limit, base.Explored),
+	}
+	w := newPairwiseWorker(e)
+	defer w.release()
+	order := pairwiseDeltaOrder(e, lpos)
+	for ri := range e.rates[lpos] {
+		if !w.push(lpos, ri) {
+			continue
+		}
+		err := w.recDelta(0, order)
+		w.pop()
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	sortByKey(w.out)
+	return mergeByKey(stripSurvivors(base.Sets, w.out, universe[lpos]), w.out), e.budget.count(), nil
+}
+
+// pairwiseDeltaOrder returns the branch order of the pairwise delta
+// walk: every position except lpos, strongest conflictors of the grown
+// link first, measured from the clear table — the number of couple
+// rates the grown link cannot clear plus the number of its own rates
+// the position denies it — with ties by position. See
+// physicalDeltaOrder for why branch order is free to choose.
+func pairwiseDeltaOrder(e *pairwiseEnum, lpos int) []int {
+	threat := make([]int, e.n)
+	order := make([]int, 0, e.n-1)
+	for p := 0; p < e.n; p++ {
+		if p == lpos {
+			continue
+		}
+		for _, mask := range e.clear[lpos][p] {
+			if mask == 0 {
+				threat[p]++
+			}
+		}
+		for _, mask := range e.clear[p][lpos] {
+			if mask == 0 {
+				threat[p]++
+			}
+		}
+		order = append(order, p)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if threat[a] != threat[b] {
+			return threat[a] > threat[b]
+		}
+		return a < b
+	})
+	return order
+}
+
+// mergeByKey merges two key-sorted families into canonical key order.
+// The survivors inherit the base family's order (a subsequence of a
+// sorted list) with their keys already cached, so the delta result
+// needs one linear merge instead of re-sorting — and re-keying — the
+// whole family. Keys never collide across the two inputs: every new
+// set contains the grown link, no survivor does.
+func mergeByKey(survivors, grown []Set) []Set {
+	if len(grown) == 0 {
+		return survivors
+	}
+	if len(survivors) == 0 {
+		return grown
+	}
+	out := make([]Set, 0, len(survivors)+len(grown))
+	i, j := 0, 0
+	for i < len(survivors) && j < len(grown) {
+		if survivors[i].Key() < grown[j].Key() {
+			out = append(out, survivors[i])
+			i++
+		} else {
+			out = append(out, grown[j])
+			j++
+		}
+	}
+	out = append(out, survivors[i:]...)
+	return append(out, grown[j:]...)
+}
+
+// recDelta walks every complete assignment that includes the grown
+// link, which the caller has already pushed at one of its rates: it is
+// the plain walk over the remaining positions in the given branch
+// order. With the grown link a member from the root, every push
+// already validates against it — a branch under which no rate of the
+// grown link survives is never entered — so the per-node prune of a
+// staged walk comes for free.
+func (w *pairwiseWorker) recDelta(oi int, order []int) error {
+	if err := w.chk.Check(); err != nil {
+		return err
+	}
+	if oi == len(order) {
+		return w.visitLeafDelta()
+	}
+	idx := order[oi]
+	// Exclude universe[idx].
+	if err := w.recDelta(oi+1, order); err != nil {
+		return err
+	}
+	// Include at each rate that keeps the partial set feasible.
+	for ri := range w.e.rates[idx] {
+		if !w.push(idx, ri) {
+			continue
+		}
+		err := w.recDelta(oi+1, order)
+		w.pop()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// visitLeafDelta is visitLeaf for the delta walk, where members sit in
+// branch order rather than ascending position: the budget charge and
+// the maximality check are member-order-independent (mask
+// intersections and the isMember table), only materialization must
+// re-establish the canonical ascending-position couple order, by
+// insertion-sorting the freshly built couples.
+func (w *pairwiseWorker) visitLeafDelta() error {
+	if !w.e.budget.take() {
+		return ErrLimit
+	}
+	if w.maximal() {
+		couples := make([]conflict.Couple, 0, len(w.members))
+		for d := range w.members {
+			a := &w.members[d]
+			couples = append(couples, conflict.Couple{Link: w.e.universe[a.pos], Rate: w.e.rates[a.pos][a.ri]})
+			for k := len(couples) - 1; k > 0 && couples[k-1].Link > couples[k].Link; k-- {
+				couples[k-1], couples[k] = couples[k], couples[k-1]
+			}
+		}
+		w.out = append(w.out, Set{Couples: couples})
+	}
+	return nil
+}

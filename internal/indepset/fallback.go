@@ -16,8 +16,8 @@ import (
 // With workers > 1 the assignment lattice splits like the pairwise
 // walk's (choiceTasks); the model's MaxRate/Rates must then be safe for
 // concurrent read-only use (every model in internal/conflict is).
-func enumerateFallback(ctx context.Context, m conflict.Model, universe []topology.LinkID, limit, workers int) ([]Set, error) {
-	e := &fallbackEnum{m: m, ctx: ctx, universe: universe, budget: newBudget(limit, workers)}
+func enumerateFallback(ctx context.Context, m conflict.Model, universe []topology.LinkID, budget *budget, workers int) ([]Set, error) {
+	e := &fallbackEnum{m: m, ctx: ctx, universe: universe, budget: budget}
 	if workers <= 1 {
 		w := &fallbackWorker{e: e, chk: cancel.NewChecker(ctx, 0)}
 		err := w.rec(0)

@@ -211,7 +211,7 @@ func Enumerate(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, 
 // whose context is never cancelled returns the byte-identical family
 // of a context-free run at every worker count.
 func EnumerateContext(ctx context.Context, m conflict.Model, links []topology.LinkID, opts Options) ([]Set, error) {
-	sets, truncated, err := enumerate(ctx, m, links, opts)
+	sets, truncated, _, err := enumerate(ctx, m, links, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -228,40 +228,60 @@ func EnumerateContext(ctx context.Context, m conflict.Model, links []topology.Li
 // is genuinely feasible and maximal); it must not be used where
 // completeness matters (exact Eq. 6 optima, upper bounds).
 func EnumeratePartial(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
-	return enumerate(context.Background(), m, links, opts)
+	return EnumeratePartialContext(context.Background(), m, links, opts)
 }
 
 // EnumeratePartialContext is EnumeratePartial under a context; see
 // EnumerateContext. Cancellation wins over truncation: a cancelled walk
 // returns ErrCanceled and no family, never a truncated partial one.
 func EnumeratePartialContext(ctx context.Context, m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
+	sets, truncated, _, err := enumerate(ctx, m, links, opts)
+	return sets, truncated, err
+}
+
+// EnumeratePartialCounted is EnumeratePartial reporting, alongside the
+// family, how many feasible sets (physical walk) or feasible complete
+// couple assignments (pairwise/fallback walks) the enumeration charged
+// against Options.Limit. For a complete (untruncated) family the count
+// is exact and deterministic — byte-identical runs charge identically —
+// and it is the accounting seed the delta path (EnumerateDelta) needs
+// to reproduce ErrLimit verdicts without re-walking the base universe.
+// The count of a truncated run is unspecified.
+func EnumeratePartialCounted(m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, int64, error) {
+	return enumerate(context.Background(), m, links, opts)
+}
+
+// EnumeratePartialCountedContext is EnumeratePartialCounted under a
+// context; see EnumerateContext for the cancellation contract.
+func EnumeratePartialCountedContext(ctx context.Context, m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, int64, error) {
 	return enumerate(ctx, m, links, opts)
 }
 
-func enumerate(ctx context.Context, m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, error) {
+func enumerate(ctx context.Context, m conflict.Model, links []topology.LinkID, opts Options) ([]Set, bool, int64, error) {
 	universe := dedupSorted(links)
 	limit := opts.limit()
 	workers := opts.workerCount(len(universe))
 	tm := obs.SpanFrom(ctx).StartStage(obs.StageEnumerate)
 	tm.SetWorkers(workers)
 	defer tm.End()
+	b := newBudget(limit, workers)
 	var out []Set
 	var err error
 	switch mm := m.(type) {
 	case *conflict.Physical:
-		out, err = enumeratePhysical(ctx, mm, universe, limit, workers)
+		out, err = enumeratePhysical(ctx, mm, universe, b, workers)
 	case conflict.PairwiseModel:
-		out, err = enumeratePairwise(ctx, mm, universe, limit, workers)
+		out, err = enumeratePairwise(ctx, mm, universe, b, workers)
 	default:
-		out, err = enumerateFallback(ctx, m, universe, limit, workers)
+		out, err = enumerateFallback(ctx, m, universe, b, workers)
 	}
 	truncated := errors.Is(err, ErrLimit)
 	if err != nil && !truncated {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	sortByKey(out)
 	tm.AddSets(int64(len(out)))
-	return out, truncated, nil
+	return out, truncated, b.count(), nil
 }
 
 // CacheKeys fills each set's cached canonical key in place — the same

@@ -3,6 +3,7 @@ package indepset
 import (
 	"context"
 	"math/bits"
+	"sync"
 
 	"abw/internal/cancel"
 	"abw/internal/conflict"
@@ -21,33 +22,89 @@ import (
 // With workers > 1 the assignment lattice is split at its first levels
 // (choiceTasks); the clear-mask table is built once and shared
 // read-only, each worker owning only its avail/member stacks.
-func enumeratePairwise(ctx context.Context, m conflict.PairwiseModel, universe []topology.LinkID, limit, workers int) ([]Set, error) {
+func enumeratePairwise(ctx context.Context, m conflict.PairwiseModel, universe []topology.LinkID, budget *budget, workers int) ([]Set, error) {
 	n := len(universe)
 	if n == 0 {
 		return nil, nil
 	}
-	// Positive declared rates per link, preserving the model's descending
-	// order. Non-positive rates can never appear in a feasible couple.
-	rates := make([][]radio.Rate, n)
+	rates, maxRates := positiveRates(m, universe)
+	if maxRates > 64 {
+		// Rate lists beyond one mask word walk with multi-word masks
+		// (pairwise_wide.go) — same DFS order, same family.
+		return enumerateWide(ctx, m, universe, rates, budget, workers)
+	}
+	e := &pairwiseEnum{
+		ctx:      ctx,
+		universe: universe,
+		rates:    rates,
+		clear:    buildClearTable(m, universe, rates),
+		n:        n,
+		budget:   budget,
+	}
+	if workers <= 1 {
+		w := newPairwiseWorker(e)
+		err := w.rec(0)
+		w.release()
+		return w.out, err
+	}
+	tasks := choiceTasks(n, workers, func(i int) int { return len(rates[i]) })
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	return parallelRun(workers, len(tasks), func() (func(int) error, func() []Set) {
+		w := newPairwiseWorker(e)
+		return func(t int) error { return w.runTask(tasks[t]) },
+			func() []Set { w.release(); return w.out }
+	})
+}
+
+// positiveRates collects each link's positive declared rates, preserving
+// the model's descending order (non-positive rates can never appear in a
+// feasible couple), and returns the longest per-link list. The per-link
+// slices share one backing slab — two allocations total, whatever n is.
+func positiveRates(m conflict.PairwiseModel, universe []topology.LinkID) ([][]radio.Rate, int) {
+	total := 0
+	for _, l := range universe {
+		total += len(m.Rates(l))
+	}
+	slab := make([]radio.Rate, 0, total)
+	rates := make([][]radio.Rate, len(universe))
+	maxRates := 0
 	for i, l := range universe {
+		start := len(slab)
 		for _, r := range m.Rates(l) {
 			if r > 0 {
-				rates[i] = append(rates[i], r)
+				slab = append(slab, r)
 			}
 		}
-		if len(rates[i]) > 64 {
-			// Masks are uint64; absurd rate counts take the slow path.
-			return enumerateFallback(ctx, m, universe, limit, workers)
+		rates[i] = slab[start:len(slab):len(slab)]
+		if len(rates[i]) > maxRates {
+			maxRates = len(rates[i])
 		}
 	}
-	// clear[i][j][rj] is the mask of link i's rates that clear the couple
-	// (universe[j], rates[j][rj]). The diagonal is all-ones: a link never
-	// constrains itself (MaxRate ignores couples on the queried link).
+	return rates, maxRates
+}
+
+// buildClearTable precomputes clear[i][j][rj]: the mask of link i's
+// rates that clear the couple (universe[j], rates[j][rj]). The diagonal
+// is all-ones: a link never constrains itself (MaxRate ignores couples
+// on the queried link). The mask rows share two backing slabs, so the
+// whole n^2 table costs three allocations.
+func buildClearTable(m conflict.PairwiseModel, universe []topology.LinkID, rates [][]radio.Rate) [][][]uint64 {
+	n := len(universe)
+	total := 0
+	for j := range rates {
+		total += len(rates[j])
+	}
+	flat := make([]uint64, n*total)
+	mid := make([][]uint64, n*n)
 	clear := make([][][]uint64, n)
+	off := 0
 	for i := range clear {
-		clear[i] = make([][]uint64, n)
+		clear[i] = mid[i*n : (i+1)*n]
 		for j := range clear[i] {
-			masks := make([]uint64, len(rates[j]))
+			masks := flat[off : off+len(rates[j]) : off+len(rates[j])]
+			off += len(rates[j])
 			if i == j {
 				for rj := range masks {
 					masks[rj] = ^uint64(0)
@@ -67,28 +124,7 @@ func enumeratePairwise(ctx context.Context, m conflict.PairwiseModel, universe [
 			clear[i][j] = masks
 		}
 	}
-	e := &pairwiseEnum{
-		ctx:      ctx,
-		universe: universe,
-		rates:    rates,
-		clear:    clear,
-		n:        n,
-		budget:   newBudget(limit, workers),
-	}
-	if workers <= 1 {
-		w := newPairwiseWorker(e)
-		err := w.rec(0)
-		return w.out, err
-	}
-	tasks := choiceTasks(n, workers, func(i int) int { return len(rates[i]) })
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	return parallelRun(workers, len(tasks), func() (func(int) error, func() []Set) {
-		w := newPairwiseWorker(e)
-		return func(t int) error { return w.runTask(tasks[t]) },
-			func() []Set { return w.out }
-	})
+	return clear
 }
 
 // pairwiseEnum is the read-only state shared by every worker of one
@@ -112,36 +148,93 @@ type pairMember struct {
 
 // pairwiseWorker owns the mutable DFS state of one worker: the
 // per-link masks of rates still clearing every member, their per-depth
-// snapshots, and the member stack.
+// snapshots, and the member stack. The mask and stack buffers come from
+// a package-level pool (pairScratch) so repeated enumerations reuse
+// them instead of reallocating the n + n*n words per worker.
 type pairwiseWorker struct {
 	e        *pairwiseEnum
 	chk      *cancel.Checker // nil for uncancellable contexts (zero cost)
-	avail    []uint64        // rates of each link clearing every member
+	scratch  *pairScratch
+	avail    []uint64 // rates of each link clearing every member
 	saved    [][]uint64
 	members  []pairMember
 	isMember []bool
 	out      []Set
 }
 
+// pairScratch holds one worker's reusable buffers. Pooled globally:
+// sizes are re-sliced (or grown) to the current universe on checkout,
+// and the walk's push/pop discipline guarantees members is empty and
+// isMember all-false at release, so only avail needs re-initializing.
+type pairScratch struct {
+	avail    []uint64
+	sback    []uint64
+	saved    [][]uint64
+	members  []pairMember
+	isMember []bool
+}
+
+var pairScratchPool = sync.Pool{New: func() any { return new(pairScratch) }}
+
+func (s *pairScratch) grow(n int) {
+	if cap(s.avail) < n {
+		s.avail = make([]uint64, n)
+	}
+	s.avail = s.avail[:n]
+	if cap(s.sback) < n*n {
+		s.sback = make([]uint64, n*n)
+	}
+	s.sback = s.sback[:n*n]
+	if cap(s.saved) < n {
+		s.saved = make([][]uint64, n)
+	}
+	s.saved = s.saved[:n]
+	for d := range s.saved {
+		s.saved[d] = s.sback[d*n : (d+1)*n]
+	}
+	if cap(s.members) < n {
+		s.members = make([]pairMember, 0, n)
+	}
+	s.members = s.members[:0]
+	if cap(s.isMember) < n {
+		s.isMember = make([]bool, n)
+	}
+	s.isMember = s.isMember[:n]
+	for i := range s.isMember {
+		s.isMember[i] = false
+	}
+}
+
 func newPairwiseWorker(e *pairwiseEnum) *pairwiseWorker {
 	n := e.n
-	avail := make([]uint64, n)
-	for i := range avail {
-		avail[i] = (uint64(1) << uint(len(e.rates[i]))) - 1
-	}
-	saved := make([][]uint64, n)
-	sback := make([]uint64, n*n)
-	for d := range saved {
-		saved[d] = sback[d*n : (d+1)*n]
+	s := pairScratchPool.Get().(*pairScratch)
+	s.grow(n)
+	for i := range s.avail {
+		// Safe at 64 declared rates: the shift wraps to 0 and the
+		// decrement yields the intended all-ones mask.
+		s.avail[i] = (uint64(1) << uint(len(e.rates[i]))) - 1
 	}
 	return &pairwiseWorker{
 		e:        e,
 		chk:      cancel.NewChecker(e.ctx, 0),
-		avail:    avail,
-		saved:    saved,
-		members:  make([]pairMember, 0, n),
-		isMember: make([]bool, n),
+		scratch:  s,
+		avail:    s.avail,
+		saved:    s.saved,
+		members:  s.members,
+		isMember: s.isMember,
 	}
+}
+
+// release returns the worker's scratch to the pool. The worker must not
+// be used afterwards; out stays valid (it never aliases the scratch).
+func (w *pairwiseWorker) release() {
+	if w.scratch == nil {
+		return
+	}
+	w.scratch.members = w.members[:0]
+	pairScratchPool.Put(w.scratch)
+	w.scratch = nil
+	w.avail, w.saved, w.members, w.isMember = nil, nil, nil, nil
 }
 
 // push includes (universe[idx], rates[idx][ri]) when that keeps the

@@ -63,6 +63,28 @@ func newBudget(limit, workers int) *budget {
 	return &budget{limit: int64(limit), seq: workers <= 1}
 }
 
+// newSeededBudget returns a sequential budget whose counter starts at
+// seed already-spent charges. The delta walk (delta.go) inherits the
+// base universe's exploration count this way, so the combined count —
+// and therefore the ErrLimit verdict — is identical to a full walk
+// over the grown universe.
+func newSeededBudget(limit int, seed int64) *budget {
+	//lint:ignore abw/atomicfield the budget is not yet shared — seq means one worker owns it exclusively for its whole life
+	return &budget{n: seed, limit: int64(limit), seq: true}
+}
+
+// count returns the number of successful charges so far. Exact for a
+// complete walk (every take succeeded); after a tripped limit it may
+// overshoot and must not be trusted — truncated walks never report
+// their count anywhere.
+func (b *budget) count() int64 {
+	if b.seq {
+		//lint:ignore abw/atomicfield seq means one worker owns the budget exclusively; no concurrent access exists
+		return b.n
+	}
+	return atomic.LoadInt64(&b.n)
+}
+
 func (b *budget) take() bool {
 	if b.seq {
 		//lint:ignore abw/atomicfield seq means one worker owns the budget exclusively; no concurrent access exists

@@ -22,7 +22,7 @@ import (
 // branching levels (subtreeTasks) and each worker walks its subtrees
 // with a private SetTracker; see parallel.go for the equivalence
 // argument.
-func enumeratePhysical(ctx context.Context, m *conflict.Physical, universe []topology.LinkID, limit, workers int) ([]Set, error) {
+func enumeratePhysical(ctx context.Context, m *conflict.Physical, universe []topology.LinkID, budget *budget, workers int) ([]Set, error) {
 	n := len(universe)
 	if n == 0 {
 		return nil, nil
@@ -33,7 +33,7 @@ func enumeratePhysical(ctx context.Context, m *conflict.Physical, universe []top
 		universe: universe,
 		minRate:  make([]radio.Rate, n),
 		n:        n,
-		budget:   newBudget(limit, workers),
+		budget:   budget,
 	}
 	// minRate[i] is the lowest positive declared rate of universe[i]: the
 	// weakest couple it could join a set with. Links with no positive

@@ -13,7 +13,7 @@ import (
 )
 
 // swapEnumerate installs fn as the cache's enumeration for the test.
-func swapEnumerate(t *testing.T, fn func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error)) {
+func swapEnumerate(t *testing.T, fn func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, int64, error)) {
 	t.Helper()
 	orig := enumerateFn
 	enumerateFn = fn
@@ -61,6 +61,11 @@ func TestEvictionOrderUnderInterleavedHits(t *testing.T) {
 		t.Skip("degenerate topology")
 	}
 	uniA, uniB, uniC := links, links[:len(links)-1], links[:len(links)-2]
+	// This test pins which entry LRU eviction removes by observing the
+	// re-lookup as a miss. With delta enumeration on, the evicted uniB
+	// would instead be served as a delta growth of the cached uniC
+	// (uniC ⊂ uniB), masking the very miss under observation — so the
+	// caches here run with the warm-start path off.
 	size := func(uni []topology.LinkID) int64 {
 		probe := New(0)
 		if _, err := probe.Enumerate(m, uni, indepset.Options{}); err != nil {
@@ -74,6 +79,7 @@ func TestEvictionOrderUnderInterleavedHits(t *testing.T) {
 	}
 	// A and B fit together; adding C must evict exactly one family.
 	c := New(sA + sB + sC/2)
+	c.SetDeltaEnabled(false)
 	mustEnum := func(uni []topology.LinkID) {
 		t.Helper()
 		if _, err := c.Enumerate(m, uni, indepset.Options{}); err != nil {
@@ -109,9 +115,11 @@ func TestEvictionOrderUnderInterleavedHits(t *testing.T) {
 // memory hit, miss, bypass, truncation, enumeration error — and
 // requires the satellite identity
 //
-//	Lookups == Hits + DiskHits + Misses + Bypasses + SingleflightMerges
+//	Lookups == Hits + DiskHits + DeltaHits + Misses + Bypasses + SingleflightMerges
 //
-// to hold after each step, error paths included.
+// to hold after each step, error paths included. (No step here grows a
+// cached universe, so DeltaHits stays zero; the delta terms are driven
+// in delta_test.go.)
 func TestLookupIdentityAcrossAllPaths(t *testing.T) {
 	net := testNetwork(t, 8, 11)
 	m := conflict.NewPhysical(net)
@@ -157,8 +165,8 @@ func TestLookupIdentityAcrossAllPaths(t *testing.T) {
 	// Erroring flight: the walk itself fails; the error surfaces but
 	// the totals still reconcile.
 	boom := errors.New("injected enumeration failure")
-	swapEnumerate(t, func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error) {
-		return nil, false, boom
+	swapEnumerate(t, func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, int64, error) {
+		return nil, false, 0, boom
 	})
 	if _, err := c.Enumerate(m, links[:1], indepset.Options{}); !errors.Is(err, boom) {
 		t.Fatalf("injected error not surfaced: %v", err)
@@ -187,10 +195,10 @@ func TestSingleflightMergeAccountingOnError(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	boom := errors.New("injected flight failure")
-	swapEnumerate(t, func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, error) {
+	swapEnumerate(t, func(context.Context, conflict.Model, []topology.LinkID, indepset.Options) ([]indepset.Set, bool, int64, error) {
 		close(started)
 		<-release
-		return nil, false, boom
+		return nil, false, 0, boom
 	})
 
 	errs := make([]error, waiters+1)

@@ -83,7 +83,7 @@ func TestWaiterCancelDoesNotPoisonLeader(t *testing.T) {
 	release := make(chan struct{})
 	var once sync.Once
 	orig := enumerateFn
-	swapEnumerate(t, func(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
+	swapEnumerate(t, func(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, int64, error) {
 		once.Do(func() { close(leaderIn) })
 		<-release
 		return orig(ctx, m, links, opts)

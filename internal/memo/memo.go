@@ -73,28 +73,43 @@ type Cache struct {
 	// evictions only changes under mu (insertLocked), so Stats loads it
 	// inside the same critical section as entries/bytes — the three
 	// describe one shape and must tear together or not at all.
-	lookups       int64
-	hits          int64
-	misses        int64
-	bypasses      int64
-	evictions     int64
-	merges        int64
-	cancellations int64
-	coldPivots    int64
-	warmPivots    int64
-	warmResolves  int64
-	pivotsSaved   int64
+	lookups        int64
+	hits           int64
+	misses         int64
+	deltaHits      int64
+	deltaFallbacks int64
+	bypasses       int64
+	evictions      int64
+	merges         int64
+	cancellations  int64
+	deltaOff       int32
+	coldPivots     int64
+	warmPivots     int64
+	warmResolves   int64
+	pivotsSaved    int64
 }
 
-// enumerateFn is the enumeration the cache falls back to on a miss.
-// Tests swap it to inject errors and to hold flights open
-// deterministically; production always points at the real walk.
-var enumerateFn = indepset.EnumeratePartialContext
+// enumerateFn is the enumeration the cache falls back to on a miss, and
+// deltaFn the warm-start walk the delta path tries first. Tests swap
+// them to inject errors and to hold flights open deterministically;
+// production always points at the real walks.
+var (
+	enumerateFn = indepset.EnumeratePartialCountedContext
+	deltaFn     = indepset.EnumerateDelta
+)
+
+// maxDeltaLinks bounds how many links a delta chain may add to a cached
+// base family: each added link is one warm-start walk, and past a
+// handful of links a fresh enumeration is usually no slower than the
+// chain (the l-containing slice of the lattice stops being small).
+const maxDeltaLinks = 8
 
 type entry struct {
-	key  string
-	sets []indepset.Set
-	size int64
+	key      string
+	universe []topology.LinkID // canonical universe the family was enumerated over
+	sets     []indepset.Set
+	explored int64 // exact exploration count (indepset.DeltaBase.Explored)
+	size     int64
 }
 
 // flight is one in-progress enumeration other goroutines may join.
@@ -165,22 +180,41 @@ func (c *Cache) Close() error {
 // worker count. The second return is false when m does not implement
 // conflict.Fingerprinter — such enumerations bypass the cache.
 func Key(m conflict.Model, links []topology.LinkID, opts indepset.Options) (string, bool) {
+	key, _, _, ok := keyParts(m, links, opts)
+	return key, ok
+}
+
+// keyParts derives the cache key plus the pieces the delta path indexes
+// by: the key's universe-independent prefix (fingerprint and limit — two
+// keys share it exactly when they differ only in universe) and the
+// canonical universe itself. The prefix ends with the "|u" terminator,
+// so a prefix match can never straddle the limit digits.
+func keyParts(m conflict.Model, links []topology.LinkID, opts indepset.Options) (key, prefix string, universe []topology.LinkID, ok bool) {
 	fp := conflict.FallbackFingerprint(m)
 	if fp == "" {
-		return "", false
+		return "", "", nil, false
 	}
-	universe := canonicalUniverse(links)
+	universe = canonicalUniverse(links)
 	var b strings.Builder
 	b.Grow(len(fp) + 16 + 8*len(universe))
 	b.WriteString(fp)
 	b.WriteString("|l")
 	b.WriteString(strconv.Itoa(opts.EffectiveLimit()))
 	b.WriteString("|u")
+	prefix = b.String()
+	return prefix + universeSuffix(universe), prefix, universe, true
+}
+
+// universeSuffix renders the canonical universe as the key's trailing
+// ":<link>" segments.
+func universeSuffix(universe []topology.LinkID) string {
+	var b strings.Builder
+	b.Grow(8 * len(universe))
 	for _, l := range universe {
 		b.WriteByte(':')
 		b.WriteString(strconv.Itoa(int(l)))
 	}
-	return b.String(), true
+	return b.String()
 }
 
 // canonicalUniverse sorts and deduplicates links, matching the
@@ -246,31 +280,40 @@ func (c *Cache) EnumeratePartialContext(ctx context.Context, m conflict.Model, l
 // enumerate is the one lookup path. Counter identity, asserted by the
 // tests on every path including errors and truncation:
 //
-//	Lookups == Hits + DiskHits + Misses + Bypasses + SingleflightMerges
+//	Lookups == Hits + DiskHits + DeltaHits + Misses + Bypasses + SingleflightMerges
 //
 // Every lookup on a non-nil cache increments Lookups exactly once and
 // exactly one of the right-hand counters: a memory hit, a disk hit
-// (the leader found the family spilled on disk), a miss (the leader
-// really walked — successfully or not), a bypass (unkeyable model), or
-// a merge (joined another goroutine's flight, whatever its outcome).
+// (the leader found the family spilled on disk), a delta hit (the
+// leader grew a smaller cached family by warm-start walks instead of
+// enumerating from scratch), a miss (the leader really walked —
+// successfully or not; this includes delta chains that fell back or
+// were cancelled mid-chain), a bypass (unkeyable model), or a merge
+// (joined another goroutine's flight, whatever its outcome).
 // Cancellations is orthogonal to the identity: it counts every lookup
 // that returned a cancel.ErrCanceled error, whichever path it took.
+// DeltaFallbacks is likewise a sub-count of Misses: lookups that found
+// a delta base but had to fall back to the full walk.
 func (c *Cache) enumerate(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
 	if c == nil {
-		return enumerateFn(ctx, m, links, opts)
+		sets, truncated, _, err := enumerateFn(ctx, m, links, opts)
+		return sets, truncated, err
 	}
 	// The memo timer measures the lookup itself and tags its outcome;
 	// on a miss the leader's walk shows up separately under the
-	// enumerate stage, so trace wall times stay attributable.
+	// enumerate stage, so trace wall times stay attributable. (A delta
+	// chain stays inside the memo timer, with its walks additionally
+	// recorded under the delta stage.)
 	tm := obs.SpanFrom(ctx).StartStage(obs.StageMemo)
 	defer tm.End()
 	atomic.AddInt64(&c.lookups, 1)
-	key, ok := Key(m, links, opts)
+	key, prefix, universe, ok := keyParts(m, links, opts)
 	if !ok {
 		atomic.AddInt64(&c.bypasses, 1)
 		tm.SetOutcome("bypass")
 		tm.End() // before the walk: bypass time is the keying attempt, not the DFS
-		return c.countCanceled(enumerateFn(ctx, m, links, opts))
+		sets, truncated, _, err := enumerateFn(ctx, m, links, opts)
+		return c.countCanceled(sets, truncated, err)
 	}
 
 	c.mu.Lock()
@@ -306,11 +349,11 @@ func (c *Cache) enumerate(ctx context.Context, m conflict.Model, links []topolog
 	// Leader: consult the disk spill before paying for a walk. load is
 	// nil-safe and never errors — a bad file degrades to a fresh
 	// enumeration with DiskErrors counted (store.go).
-	if sets, ok := c.store.load(key); ok {
+	if sets, explored, ok := c.store.load(key); ok {
 		fl.sets = sets
 		c.mu.Lock()
 		delete(c.inflight, key)
-		c.insertLocked(key, sets)
+		c.insertLocked(key, universe, sets, explored)
 		c.mu.Unlock()
 		close(fl.done)
 		tm.SetOutcome("diskHit")
@@ -318,15 +361,58 @@ func (c *Cache) enumerate(ctx context.Context, m conflict.Model, links []topolog
 		return copyFamily(sets), false, nil
 	}
 
+	// Delta path: grow a smaller cached family of the same model and
+	// limit link by link instead of enumerating from scratch. Every
+	// cached entry is a complete family with an exact exploration count
+	// (truncated and cancelled walks are never stored), so any entry is
+	// a sound base and the result is byte-identical to a full walk.
+	if c.deltaEnabled() {
+		sets, explored, derr := c.tryDelta(ctx, m, prefix, universe, opts)
+		switch {
+		case derr == nil:
+			fl.sets = sets
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.insertLocked(key, universe, sets, explored)
+			c.mu.Unlock()
+			close(fl.done)
+			atomic.AddInt64(&c.deltaHits, 1)
+			tm.SetOutcome("delta")
+			tm.AddSets(int64(len(sets)))
+			c.store.enqueue(key, sets, explored)
+			return copyFamily(sets), false, nil
+		case errors.Is(derr, cancel.ErrCanceled):
+			// Cancelled mid-chain: the lookup ends here, as a cancelled
+			// miss — running the full walk against a dead context would
+			// only fail the same way.
+			atomic.AddInt64(&c.misses, 1)
+			tm.SetOutcome("miss")
+			fl.err = derr
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(fl.done)
+			return c.countCanceled(nil, false, derr)
+		case errors.Is(derr, errNoDeltaBase):
+			// Nothing to warm-start from: a plain miss, not a fallback.
+		default:
+			// A base existed but the chain could not serve it (model
+			// without a delta walk, >64 rate classes, a limit the grown
+			// universe trips, ...): fall back to the full walk.
+			atomic.AddInt64(&c.deltaFallbacks, 1)
+		}
+	}
+
 	atomic.AddInt64(&c.misses, 1)
 	tm.SetOutcome("miss")
 	tm.End() // before the walk: the DFS accounts under the enumerate stage
-	fl.sets, fl.truncated, fl.err = enumerateFn(ctx, m, links, opts)
+	var explored int64
+	fl.sets, fl.truncated, explored, fl.err = enumerateFn(ctx, m, links, opts)
 
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if fl.err == nil && !fl.truncated {
-		c.insertLocked(key, fl.sets)
+		c.insertLocked(key, universe, fl.sets, explored)
 	}
 	c.mu.Unlock()
 	close(fl.done)
@@ -336,10 +422,147 @@ func (c *Cache) enumerate(ctx context.Context, m conflict.Model, links []topolog
 		// complete families reach disk, mirroring the memory rule —
 		// and in particular a cancelled walk (fl.err != nil) never
 		// reaches memory or disk.
-		c.store.enqueue(key, fl.sets)
+		c.store.enqueue(key, fl.sets, explored)
 	}
 
 	return c.countCanceled(copyFlight(fl))
+}
+
+// errNoDeltaBase reports that the delta path found no cached family to
+// warm-start from; the lookup proceeds as a plain miss.
+var errNoDeltaBase = errors.New("memo: no delta base cached")
+
+// tryDelta builds the requested family by chaining per-link delta
+// enumerations from the closest smaller cached family. nil error means
+// the returned family is complete and byte-identical to a full walk,
+// with its exact exploration count. Intermediate families grown along
+// the chain are inserted memory-only — they are complete families in
+// their own right and make likely future growth steps one-link deltas.
+func (c *Cache) tryDelta(ctx context.Context, m conflict.Model, prefix string, universe []topology.LinkID, opts indepset.Options) ([]indepset.Set, int64, error) {
+	base, found := c.findDeltaBase(prefix, universe)
+	if !found {
+		return nil, 0, errNoDeltaBase
+	}
+	dtm := obs.SpanFrom(ctx).StartStage(obs.StageDelta)
+	defer dtm.End()
+	missing := linksNotIn(universe, base.Universe)
+	for i, l := range missing {
+		sets, explored, err := deltaFn(ctx, m, base, l, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		grown := insertLink(base.Universe, l)
+		base = indepset.DeltaBase{Universe: grown, Sets: sets, Explored: explored}
+		if i < len(missing)-1 {
+			c.mu.Lock()
+			c.insertLocked(prefix+universeSuffix(grown), grown, sets, explored)
+			c.mu.Unlock()
+		}
+	}
+	dtm.AddSets(int64(len(base.Sets)))
+	return base.Sets, base.Explored, nil
+}
+
+// findDeltaBase picks the cached family to warm-start from: same key
+// prefix (model fingerprint and limit), universe a strict subset of the
+// target missing at most maxDeltaLinks links. Among candidates the
+// smallest diff wins (fewest chain steps), ties broken by key so the
+// choice is deterministic whatever the LRU order. The linear scan is
+// fine where it sits: the lookup already missed memory and disk, so it
+// is about to pay for enumeration walks either way.
+func (c *Cache) findDeltaBase(prefix string, universe []topology.LinkID) (indepset.DeltaBase, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *entry
+	bestDiff := maxDeltaLinks + 1
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !strings.HasPrefix(e.key, prefix) {
+			continue
+		}
+		diff, sub := universeDiff(e.universe, universe)
+		if !sub || diff < 1 || diff > maxDeltaLinks {
+			continue
+		}
+		if diff < bestDiff || (diff == bestDiff && e.key < best.key) {
+			best, bestDiff = e, diff
+		}
+	}
+	if best == nil {
+		return indepset.DeltaBase{}, false
+	}
+	// The entry's universe and sets are immutable once cached, so they
+	// are safe to use after mu is released.
+	return indepset.DeltaBase{Universe: best.universe, Sets: best.sets, Explored: best.explored}, true
+}
+
+// universeDiff reports how many links of target are missing from base,
+// and whether base is a subset of target. Both must be canonical
+// (sorted, deduplicated).
+func universeDiff(base, target []topology.LinkID) (int, bool) {
+	i, diff := 0, 0
+	for _, l := range target {
+		if i < len(base) && base[i] == l {
+			i++
+		} else {
+			diff++
+		}
+	}
+	if i != len(base) {
+		return 0, false
+	}
+	return diff, true
+}
+
+// linksNotIn returns the links of target missing from base, ascending.
+func linksNotIn(target, base []topology.LinkID) []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(target)-len(base))
+	i := 0
+	for _, l := range target {
+		if i < len(base) && base[i] == l {
+			i++
+		} else {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// insertLink returns a new canonical universe with l inserted.
+func insertLink(universe []topology.LinkID, l topology.LinkID) []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(universe)+1)
+	placed := false
+	for _, u := range universe {
+		if !placed && l < u {
+			out = append(out, l)
+			placed = true
+		}
+		out = append(out, u)
+	}
+	if !placed {
+		out = append(out, l)
+	}
+	return out
+}
+
+// SetDeltaEnabled toggles the delta path (on by default). Off, every
+// lookup that misses memory and disk runs a full enumeration — the
+// behavior is identical either way (delta results are byte-identical);
+// the knob exists for benchmarks and diagnostics that need the two
+// regimes separately.
+func (c *Cache) SetDeltaEnabled(on bool) {
+	if c == nil {
+		return
+	}
+	var v int32
+	if !on {
+		v = 1
+	}
+	atomic.StoreInt32(&c.deltaOff, v)
+}
+
+func (c *Cache) deltaEnabled() bool {
+	return atomic.LoadInt32(&c.deltaOff) == 0
 }
 
 // copyFlight extracts a finished flight's outcome, copying the family
@@ -363,9 +586,21 @@ func (c *Cache) countCanceled(sets []indepset.Set, truncated bool, err error) ([
 // insertLocked stores a complete family and evicts LRU entries until
 // the byte budget holds again. An entry larger than the whole budget is
 // inserted and immediately evicted, so it never displaces useful state
-// for long. Caller holds mu.
-func (c *Cache) insertLocked(key string, sets []indepset.Set) {
-	e := &entry{key: key, sets: sets, size: familyBytes(key, sets)}
+// for long. A key already present is only refreshed (delta chains can
+// insert an intermediate universe another lookup cached concurrently).
+// Caller holds mu.
+func (c *Cache) insertLocked(key string, universe []topology.LinkID, sets []indepset.Set, explored int64) {
+	if el, dup := c.entries[key]; dup {
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &entry{
+		key:      key,
+		universe: universe,
+		sets:     sets,
+		explored: explored,
+		size:     familyBytes(key, sets) + int64(8*len(universe)),
+	}
 	c.entries[key] = c.ll.PushFront(e)
 	c.bytes += e.size
 	for c.bytes > c.maxBytes && c.ll.Len() > 0 {
@@ -431,12 +666,21 @@ func (c *Cache) AddSolvePivots(warm bool, pivots, saved int) {
 type Stats struct {
 	// Lookups counts every cache lookup. The counters below reconcile
 	// exactly on every path, including errors and truncation:
-	// Lookups == Hits + DiskHits + Misses + Bypasses + SingleflightMerges.
+	// Lookups == Hits + DiskHits + DeltaHits + Misses + Bypasses + SingleflightMerges.
 	Lookups int64 `json:"lookups"`
 	// Hits counts lookups answered from a family retained in memory.
 	Hits int64 `json:"hits"`
 	// Misses counts enumerations this cache had to run.
 	Misses int64 `json:"misses"`
+	// DeltaHits counts lookups answered by delta enumeration: a smaller
+	// cached family of the same model and limit was grown link by link
+	// (indepset.EnumerateDelta) into the requested one, byte-identical
+	// to a full walk.
+	DeltaHits int64 `json:"deltaHits"`
+	// DeltaFallbacks counts lookups that found a delta base but had to
+	// fall back to the full walk (unsupported model or universe shape,
+	// or a tripped limit). A sub-count of Misses, outside the identity.
+	DeltaFallbacks int64 `json:"deltaFallbacks"`
 	// Bypasses counts enumerations of models with no fingerprint.
 	Bypasses int64 `json:"bypasses"`
 	// Evictions counts families dropped by the LRU byte budget.
@@ -497,6 +741,8 @@ func (c *Cache) Stats() Stats {
 		Lookups:            atomic.LoadInt64(&c.lookups),
 		Hits:               atomic.LoadInt64(&c.hits),
 		Misses:             atomic.LoadInt64(&c.misses),
+		DeltaHits:          atomic.LoadInt64(&c.deltaHits),
+		DeltaFallbacks:     atomic.LoadInt64(&c.deltaFallbacks),
 		Bypasses:           atomic.LoadInt64(&c.bypasses),
 		Evictions:          evictions,
 		SingleflightMerges: atomic.LoadInt64(&c.merges),

@@ -56,7 +56,9 @@ const DefaultStoreMaxBytes = 256 << 20
 
 // storeMagic identifies a store file and pins the format version; a
 // version bump changes the last byte, making every older file stale.
-const storeMagic = "ABWFAM\x00\x01"
+// Version 2 added the exploration count (the delta path's accounting
+// seed) to the payload; v1 files are deleted as stale on load.
+const storeMagic = "ABWFAM\x00\x02"
 
 // storeExt is the extension of family files; anything in the cache
 // directory not shaped like <64 hex>.fam is ignored entirely (the
@@ -104,9 +106,10 @@ type storeFile struct {
 // storeReq is one write-behind item; a nil sets slice with a non-nil
 // flush channel is a barrier the writer closes when reached.
 type storeReq struct {
-	key   string
-	sets  []indepset.Set
-	flush chan struct{}
+	key      string
+	sets     []indepset.Set
+	explored int64
+	flush    chan struct{}
 }
 
 // OpenStore opens (creating if necessary) the cache directory and
@@ -203,15 +206,16 @@ func fileName(key string) string {
 	return hex.EncodeToString(sum[:]) + storeExt
 }
 
-// load reads, revalidates and decodes the family stored for key. A
-// missing file is a disk miss; any other failure (unreadable, stale
-// version, alien key, checksum mismatch, malformed payload) counts a
-// disk error and deletes the offending file. Nil-safe: a nil store
-// reports a plain miss without counting. load never returns an error —
-// the caller's fallback is always a fresh enumeration.
-func (s *Store) load(key string) ([]indepset.Set, bool) {
+// load reads, revalidates and decodes the family stored for key, along
+// with its exact exploration count. A missing file is a disk miss; any
+// other failure (unreadable, stale version, alien key, checksum
+// mismatch, malformed payload) counts a disk error and deletes the
+// offending file. Nil-safe: a nil store reports a plain miss without
+// counting. load never returns an error — the caller's fallback is
+// always a fresh enumeration.
+func (s *Store) load(key string) ([]indepset.Set, int64, bool) {
 	if s == nil {
-		return nil, false
+		return nil, 0, false
 	}
 	name := fileName(key)
 	data, err := os.ReadFile(filepath.Join(s.dir, name))
@@ -221,17 +225,17 @@ func (s *Store) load(key string) ([]indepset.Set, bool) {
 		} else {
 			atomic.AddInt64(&s.errors, 1)
 		}
-		return nil, false
+		return nil, 0, false
 	}
-	sets, err := decodeFamily(key, data)
+	sets, explored, err := decodeFamily(key, data)
 	if err != nil {
 		atomic.AddInt64(&s.errors, 1)
 		s.remove(name)
-		return nil, false
+		return nil, 0, false
 	}
 	atomic.AddInt64(&s.hits, 1)
 	s.touch(name, int64(len(data)))
-	return sets, true
+	return sets, explored, true
 }
 
 // touch moves a loaded file to the most-recent end of the LRU order
@@ -304,7 +308,7 @@ func (s *Store) pruneLocked() {
 // enqueue hands a family to the write-behind goroutine. It never
 // blocks: with the queue full (or the store closed) the write is
 // dropped and counted as a disk error. Nil-safe.
-func (s *Store) enqueue(key string, sets []indepset.Set) {
+func (s *Store) enqueue(key string, sets []indepset.Set, explored int64) {
 	if s == nil {
 		return
 	}
@@ -315,7 +319,7 @@ func (s *Store) enqueue(key string, sets []indepset.Set) {
 		return
 	}
 	select {
-	case s.queue <- storeReq{key: key, sets: sets}:
+	case s.queue <- storeReq{key: key, sets: sets, explored: explored}:
 	default:
 		atomic.AddInt64(&s.errors, 1)
 	}
@@ -329,16 +333,16 @@ func (s *Store) writer() {
 			close(req.flush)
 			continue
 		}
-		s.put(req.key, req.sets)
+		s.put(req.key, req.sets, req.explored)
 	}
 }
 
 // put writes one family crash-safely: encode, temp file, fsync,
 // atomic rename, directory fsync, then index + prune. Failures are
 // counted, the temp file is removed, and nothing is surfaced.
-func (s *Store) put(key string, sets []indepset.Set) {
+func (s *Store) put(key string, sets []indepset.Set, explored int64) {
 	name := fileName(key)
-	data := encodeFamily(key, sets)
+	data := encodeFamily(key, sets, explored)
 	if err := s.writeAtomic(name, data); err != nil {
 		atomic.AddInt64(&s.errors, 1)
 		return
@@ -465,17 +469,20 @@ func (s *Store) statsSnapshot() (hits, misses, errors, bytes int64) {
 //	checksum      32 bytes   sha256 over every byte after this field
 //	keyLen         4 bytes   uint32
 //	key            keyLen    the full cache key (revalidated on load)
+//	explored       8 bytes   int64: exact exploration count of the walk
 //	nsets          4 bytes   uint32
 //	per set:
 //	  ncouples     4 bytes   uint32
 //	  per couple: 16 bytes   link as uint64, rate as IEEE-754 bits
 //
 // Rates round-trip exactly (bit patterns, not decimal), so a reloaded
-// family is byte-identical to the enumeration that produced it.
+// family is byte-identical to the enumeration that produced it, and the
+// exploration count makes a reloaded family a valid delta base
+// (indepset.DeltaBase) exactly like a freshly enumerated one.
 
 // encodeFamily serializes a family under its cache key.
-func encodeFamily(key string, sets []indepset.Set) []byte {
-	n := storeHeaderLen + len(key) + 4
+func encodeFamily(key string, sets []indepset.Set, explored int64) []byte {
+	n := storeHeaderLen + len(key) + 8 + 4
 	for i := range sets {
 		n += 4 + 16*len(sets[i].Couples)
 	}
@@ -484,6 +491,7 @@ func encodeFamily(key string, sets []indepset.Set) []byte {
 	buf = append(buf, make([]byte, sha256.Size)...) // checksum placeholder
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
 	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(explored))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sets)))
 	for i := range sets {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sets[i].Couples)))
@@ -501,44 +509,51 @@ func encodeFamily(key string, sets []indepset.Set) []byte {
 // key. Any deviation — wrong version, wrong key, checksum mismatch,
 // malformed or unsorted payload — is an error; the caller treats every
 // error identically (delete the file, count it, enumerate fresh).
-func decodeFamily(key string, data []byte) ([]indepset.Set, error) {
+func decodeFamily(key string, data []byte) ([]indepset.Set, int64, error) {
 	if len(data) < storeHeaderLen {
-		return nil, fmt.Errorf("memo: store file truncated (%d bytes)", len(data))
+		return nil, 0, fmt.Errorf("memo: store file truncated (%d bytes)", len(data))
 	}
 	if string(data[:len(storeMagic)]) != storeMagic {
-		return nil, fmt.Errorf("memo: store file has wrong magic/version")
+		return nil, 0, fmt.Errorf("memo: store file has wrong magic/version")
 	}
 	body := data[len(storeMagic)+sha256.Size:]
 	sum := sha256.Sum256(body)
 	if string(sum[:]) != string(data[len(storeMagic):len(storeMagic)+sha256.Size]) {
-		return nil, fmt.Errorf("memo: store file checksum mismatch")
+		return nil, 0, fmt.Errorf("memo: store file checksum mismatch")
 	}
 	keyLen := binary.LittleEndian.Uint32(body)
 	body = body[4:]
 	if uint64(keyLen) > uint64(len(body)) {
-		return nil, fmt.Errorf("memo: store file key overruns payload")
+		return nil, 0, fmt.Errorf("memo: store file key overruns payload")
 	}
 	if string(body[:keyLen]) != key {
-		return nil, fmt.Errorf("memo: store file keyed for a different family")
+		return nil, 0, fmt.Errorf("memo: store file keyed for a different family")
 	}
 	body = body[keyLen:]
-	if len(body) < 4 {
-		return nil, fmt.Errorf("memo: store file missing set count")
+	if len(body) < 12 {
+		return nil, 0, fmt.Errorf("memo: store file missing exploration count")
 	}
+	explored := int64(binary.LittleEndian.Uint64(body))
+	body = body[8:]
 	nsets := binary.LittleEndian.Uint32(body)
 	body = body[4:]
 	if uint64(nsets) > uint64(len(body))/4 {
-		return nil, fmt.Errorf("memo: store file set count %d overruns payload", nsets)
+		return nil, 0, fmt.Errorf("memo: store file set count %d overruns payload", nsets)
+	}
+	if explored < int64(nsets) {
+		// Every returned set was one charged exploration, so a count
+		// below the family size cannot be genuine.
+		return nil, 0, fmt.Errorf("memo: store file exploration count %d below set count %d", explored, nsets)
 	}
 	sets := make([]indepset.Set, 0, nsets)
 	for i := uint32(0); i < nsets; i++ {
 		if len(body) < 4 {
-			return nil, fmt.Errorf("memo: store file set %d missing couple count", i)
+			return nil, 0, fmt.Errorf("memo: store file set %d missing couple count", i)
 		}
 		ncouples := binary.LittleEndian.Uint32(body)
 		body = body[4:]
 		if uint64(ncouples) > uint64(len(body))/16 {
-			return nil, fmt.Errorf("memo: store file couple count %d overruns payload", ncouples)
+			return nil, 0, fmt.Errorf("memo: store file couple count %d overruns payload", ncouples)
 		}
 		couples := make([]conflict.Couple, 0, ncouples)
 		prevLink := int64(-1)
@@ -547,10 +562,10 @@ func decodeFamily(key string, data []byte) ([]indepset.Set, error) {
 			rate := math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
 			body = body[16:]
 			if link < 0 || link <= prevLink {
-				return nil, fmt.Errorf("memo: store file couples not strictly link-sorted")
+				return nil, 0, fmt.Errorf("memo: store file couples not strictly link-sorted")
 			}
 			if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
-				return nil, fmt.Errorf("memo: store file rate out of range")
+				return nil, 0, fmt.Errorf("memo: store file rate out of range")
 			}
 			prevLink = link
 			couples = append(couples, conflict.Couple{Link: topology.LinkID(link), Rate: radio.Rate(rate)})
@@ -558,7 +573,7 @@ func decodeFamily(key string, data []byte) ([]indepset.Set, error) {
 		sets = append(sets, indepset.Set{Couples: couples})
 	}
 	if len(body) != 0 {
-		return nil, fmt.Errorf("memo: store file has %d trailing bytes", len(body))
+		return nil, 0, fmt.Errorf("memo: store file has %d trailing bytes", len(body))
 	}
 	// Refill the cached canonical keys (enumeration ships families with
 	// them precomputed; a reloaded family must be byte-identical in
@@ -566,8 +581,8 @@ func decodeFamily(key string, data []byte) ([]indepset.Set, error) {
 	indepset.CacheKeys(sets)
 	for i := 1; i < len(sets); i++ {
 		if sets[i].Key() <= sets[i-1].Key() {
-			return nil, fmt.Errorf("memo: store file family not key-sorted")
+			return nil, 0, fmt.Errorf("memo: store file family not key-sorted")
 		}
 	}
-	return sets, nil
+	return sets, explored, nil
 }

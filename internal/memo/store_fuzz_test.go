@@ -70,21 +70,27 @@ func FuzzStoreRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte, corruptAt uint32, mask byte) {
 		key := fmt.Sprintf("fuzz:%d:%x", len(data), mask)
 		sets := fuzzStoreFamily(data)
+		// Any count >= len(sets) is valid; derive one from the fuzz input
+		// so the explored field itself gets fuzzed.
+		explored := int64(len(sets)) + int64(corruptAt%1024)
 
-		blob := encodeFamily(key, sets)
-		decoded, err := decodeFamily(key, blob)
+		blob := encodeFamily(key, sets, explored)
+		decoded, decodedExplored, err := decodeFamily(key, blob)
 		if err != nil {
 			t.Fatalf("own encoding rejected: %v", err)
 		}
 		if len(decoded) != len(sets) {
 			t.Fatalf("reload: %d sets, stored %d", len(decoded), len(sets))
 		}
+		if decodedExplored != explored {
+			t.Fatalf("reload: explored %d, stored %d", decodedExplored, explored)
+		}
 		for i := range sets {
 			if decoded[i].Key() != sets[i].Key() {
 				t.Fatalf("set %d: reload key %q, stored %q", i, decoded[i].Key(), sets[i].Key())
 			}
 		}
-		if again := encodeFamily(key, decoded); !bytes.Equal(again, blob) {
+		if again := encodeFamily(key, decoded, decodedExplored); !bytes.Equal(again, blob) {
 			t.Fatal("decode/re-encode is not byte-identical")
 		}
 
@@ -97,17 +103,17 @@ func FuzzStoreRoundTrip(f *testing.F) {
 			m = 0xFF
 		}
 		corrupted[int(corruptAt)%len(corrupted)] ^= m
-		if _, err := decodeFamily(key, corrupted); err == nil {
+		if _, _, err := decodeFamily(key, corrupted); err == nil {
 			t.Fatalf("corrupted byte %d (mask %#x) accepted", int(corruptAt)%len(blob), m)
 		}
 
 		// A valid blob under a different key is alien, not reusable.
-		if _, err := decodeFamily(key+"'", blob); err == nil {
+		if _, _, err := decodeFamily(key+"'", blob); err == nil {
 			t.Fatal("blob accepted under an alien key")
 		}
 
 		// Arbitrary byte soup must never panic.
-		if got, err := decodeFamily(key, data); err == nil && len(data) < storeHeaderLen {
+		if got, _, err := decodeFamily(key, data); err == nil && len(data) < storeHeaderLen {
 			t.Fatalf("undersized blob accepted: %d sets", len(got))
 		}
 	})

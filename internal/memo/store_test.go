@@ -20,7 +20,7 @@ import (
 func failEnumerate(t *testing.T) {
 	t.Helper()
 	orig := enumerateFn
-	enumerateFn = func(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, error) {
+	enumerateFn = func(ctx context.Context, m conflict.Model, links []topology.LinkID, opts indepset.Options) ([]indepset.Set, bool, int64, error) {
 		t.Error("enumeration ran where a disk hit was required")
 		return orig(ctx, m, links, opts)
 	}
@@ -56,9 +56,9 @@ func familyFiles(t *testing.T, dir string) []string {
 // assertIdentity pins the satellite counter identity on a snapshot.
 func assertIdentity(t *testing.T, st Stats, label string) {
 	t.Helper()
-	if st.Lookups != st.Hits+st.DiskHits+st.Misses+st.Bypasses+st.SingleflightMerges {
-		t.Fatalf("%s: counter identity broken: lookups=%d != hits=%d + diskHits=%d + misses=%d + bypasses=%d + merges=%d",
-			label, st.Lookups, st.Hits, st.DiskHits, st.Misses, st.Bypasses, st.SingleflightMerges)
+	if st.Lookups != st.Hits+st.DiskHits+st.DeltaHits+st.Misses+st.Bypasses+st.SingleflightMerges {
+		t.Fatalf("%s: counter identity broken: lookups=%d != hits=%d + diskHits=%d + deltaHits=%d + misses=%d + bypasses=%d + merges=%d",
+			label, st.Lookups, st.Hits, st.DiskHits, st.DeltaHits, st.Misses, st.Bypasses, st.SingleflightMerges)
 	}
 }
 
@@ -196,7 +196,7 @@ func TestCorruptionDegradesToFreshEnumeration(t *testing.T) {
 			if len(refreshed) != 1 || refreshed[0] != files[0] {
 				t.Fatalf("bad file not replaced by a fresh spill: %v", refreshed)
 			}
-			if _, err := decodeFamily(mustKey(t, m, links), readFile(t, filepath.Join(dir, refreshed[0]))); err != nil {
+			if _, _, err := decodeFamily(mustKey(t, m, links), readFile(t, filepath.Join(dir, refreshed[0]))); err != nil {
 				t.Fatalf("re-spilled family does not revalidate: %v", err)
 			}
 		})
@@ -250,18 +250,18 @@ func TestDiskBudgetPrunesOldest(t *testing.T) {
 	famB := syntheticFamily(100, 3)
 	famC := syntheticFamily(200, 3)
 	keyA, keyB, keyC := "key-A", "key-B", "key-C"
-	one := int64(len(encodeFamily(keyA, famA)))
+	one := int64(len(encodeFamily(keyA, famA, 5)))
 
 	// Budget for two families (the keys share a length, so sizes match).
 	dir := t.TempDir()
 	st := openTestStore(t, dir, 2*one+one/2)
-	st.put(keyA, famA)
-	st.put(keyB, famB)
+	st.put(keyA, famA, 5)
+	st.put(keyB, famB, 5)
 	// Touch A: it becomes most recent, so the next prune must take B.
-	if _, ok := st.load(keyA); !ok {
+	if _, _, ok := st.load(keyA); !ok {
 		t.Fatal("load A after put")
 	}
-	st.put(keyC, famC)
+	st.put(keyC, famC, 5)
 
 	if _, _, _, bytes := st.statsSnapshot(); bytes > 2*one+one/2 {
 		t.Fatalf("disk bytes %d over budget", bytes)
@@ -269,13 +269,13 @@ func TestDiskBudgetPrunesOldest(t *testing.T) {
 	if got := len(familyFiles(t, dir)); got != 2 {
 		t.Fatalf("expected 2 files after pruning, got %d", got)
 	}
-	if _, ok := st.load(keyB); ok {
+	if _, _, ok := st.load(keyB); ok {
 		t.Fatal("oldest unreferenced family (B) should have been pruned")
 	}
-	if _, ok := st.load(keyA); !ok {
+	if _, _, ok := st.load(keyA); !ok {
 		t.Fatal("recently loaded family (A) should have survived the prune")
 	}
-	if _, ok := st.load(keyC); !ok {
+	if _, _, ok := st.load(keyC); !ok {
 		t.Fatal("newest family (C) should have survived the prune")
 	}
 }
@@ -288,7 +288,7 @@ func TestDiskBudgetOversizedFamily(t *testing.T) {
 	key := "oversized"
 	dir := t.TempDir()
 	st := openTestStore(t, dir, 16) // far below one encoded family
-	st.put(key, fam)
+	st.put(key, fam, 64)
 	if got := familyFiles(t, dir); len(got) != 0 {
 		t.Fatalf("oversized family not self-pruned: %v", got)
 	}
@@ -306,8 +306,8 @@ func TestOpenStorePrunesExistingOverBudget(t *testing.T) {
 	var one int64
 	for i := 0; i < 4; i++ {
 		key := fmt.Sprintf("key-%d", i)
-		seed.put(key, syntheticFamily(topology.LinkID(10*i+1), 3))
-		one = int64(len(encodeFamily(key, syntheticFamily(topology.LinkID(10*i+1), 3))))
+		seed.put(key, syntheticFamily(topology.LinkID(10*i+1), 3), 5)
+		one = int64(len(encodeFamily(key, syntheticFamily(topology.LinkID(10*i+1), 3), 5)))
 	}
 	bystander := filepath.Join(dir, "README.txt")
 	writeFile(t, bystander, []byte("not a family file"))
@@ -317,10 +317,10 @@ func TestOpenStorePrunesExistingOverBudget(t *testing.T) {
 	if got := len(familyFiles(t, dir)); got != 2 {
 		t.Fatalf("reopen kept %d family files, want 2", got)
 	}
-	if _, ok := st.load("key-3"); !ok {
+	if _, _, ok := st.load("key-3"); !ok {
 		t.Fatal("newest seeded family should survive the reopen prune")
 	}
-	if _, ok := st.load("key-0"); ok {
+	if _, _, ok := st.load("key-0"); ok {
 		t.Fatal("oldest seeded family should have been pruned at reopen")
 	}
 	if _, err := os.Stat(bystander); err != nil {
@@ -341,17 +341,27 @@ func TestStoreRoundTripBytes(t *testing.T) {
 		fam[0], fam[1] = fam[1], fam[0]
 	}
 	const key = "some|cache|key"
-	got, err := decodeFamily(key, encodeFamily(key, fam))
+	const explored = int64(17)
+	got, gotExplored, err := decodeFamily(key, encodeFamily(key, fam, explored))
 	if err != nil {
 		t.Fatalf("round trip: %v", err)
 	}
 	assertFamiliesEqual(t, fam, got, "round trip")
+	if gotExplored != explored {
+		t.Fatalf("exploration count round trip: got %d, want %d", gotExplored, explored)
+	}
 
-	if _, err := decodeFamily("different|key", encodeFamily(key, fam)); err == nil {
+	if _, _, err := decodeFamily("different|key", encodeFamily(key, fam, explored)); err == nil {
 		t.Fatal("decode under a different key must fail (alien)")
 	}
-	if _, err := decodeFamily(key, encodeFamily(key, nil)); err != nil {
+	if _, _, err := decodeFamily(key, encodeFamily(key, nil, 0)); err != nil {
 		t.Fatalf("empty family must round-trip: %v", err)
+	}
+	// An exploration count below the set count cannot come from a real
+	// walk (every emitted set was itself explored) — revalidation rejects
+	// it rather than seeding delta chains with a bogus accounting base.
+	if _, _, err := decodeFamily(key, encodeFamily(key, fam, 1)); err == nil {
+		t.Fatal("exploration count below set count must fail revalidation")
 	}
 }
 
@@ -363,7 +373,7 @@ func TestWriteBehindDropsWhenSaturated(t *testing.T) {
 	st := openTestStore(t, dir, 0)
 	const n = 4 * writeQueueDepth
 	for i := 0; i < n; i++ {
-		st.enqueue(fmt.Sprintf("key-%d", i), syntheticFamily(topology.LinkID(i*10+1), 2))
+		st.enqueue(fmt.Sprintf("key-%d", i), syntheticFamily(topology.LinkID(i*10+1), 2), 3)
 	}
 	st.Flush()
 	_, _, errors, _ := st.statsSnapshot()
@@ -382,7 +392,7 @@ func TestEnqueueAfterCloseCountsError(t *testing.T) {
 	st := openTestStore(t, t.TempDir(), 0)
 	st.Close()
 	st.Close() // idempotent
-	st.enqueue("key", syntheticFamily(1, 2))
+	st.enqueue("key", syntheticFamily(1, 2), 3)
 	if _, _, errors, _ := st.statsSnapshot(); errors != 1 {
 		t.Fatalf("post-close enqueue errors = %d, want 1", errors)
 	}

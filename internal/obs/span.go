@@ -23,6 +23,11 @@ const (
 	// StageMemo is the set-family cache lookup in internal/memo,
 	// whatever its outcome.
 	StageMemo Stage = "memo"
+	// StageDelta is a delta-enumeration chain in internal/memo: the
+	// per-link warm-start walks that grow a smaller cached family into
+	// the requested one instead of re-enumerating from scratch. Nested
+	// inside the memo stage's lookup (whose outcome is then "delta").
+	StageDelta Stage = "delta"
 	// StageSession is a session-level availability/feasibility/idle
 	// memo consultation in internal/core.
 	StageSession Stage = "session"

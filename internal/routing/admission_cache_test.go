@@ -63,3 +63,63 @@ func TestSequentialAdmissionCachedMatchesUncached(t *testing.T) {
 		}
 	}
 }
+
+// TestSequentialAdmissionDeltaMatchesFullWalks pins the tentpole at the
+// admission level. Flows whose paths extend hop by hop grow the
+// enumeration universe (topology.LinkUnion of the involved paths) one
+// link per step — exactly the shape delta enumeration warm-starts. The
+// run must take the delta path (DeltaHits > 0, no fallbacks) and still
+// produce decision-for-decision identical outcomes to both an uncached
+// run and a cached run with the delta path switched off.
+func TestSequentialAdmissionDeltaMatchesFullWalks(t *testing.T) {
+	net, m := lineNet(t, 6, 100)
+	reqs := []Request{
+		{Src: 0, Dst: 2, Demand: 0.3},
+		{Src: 0, Dst: 3, Demand: 0.3},
+		{Src: 0, Dst: 4, Demand: 0.3},
+		{Src: 0, Dst: 5, Demand: 0.3},
+	}
+	run := func(cache *memo.Cache) []Decision {
+		t.Helper()
+		decs, err := SequentialAdmission(net, m, MetricHopCount, reqs, AdmissionOptions{
+			Core: core.Options{Cache: cache},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decs
+	}
+	plain := run(nil)
+
+	deltaCache := memo.New(0)
+	withDelta := run(deltaCache)
+	st := deltaCache.Stats()
+	if st.DeltaHits == 0 {
+		t.Fatalf("growing admission sequence never took the delta path: %+v", st)
+	}
+	if st.DeltaFallbacks != 0 {
+		t.Fatalf("delta chain fell back on a supported model: %+v", st)
+	}
+
+	fullCache := memo.New(0)
+	fullCache.SetDeltaEnabled(false)
+	withoutDelta := run(fullCache)
+	if fst := fullCache.Stats(); fst.DeltaHits != 0 {
+		t.Fatalf("delta disabled but counted: %+v", fst)
+	}
+
+	for _, other := range [][]Decision{withDelta, withoutDelta} {
+		if len(other) != len(plain) {
+			t.Fatalf("%d decisions, want %d", len(other), len(plain))
+		}
+		for i := range plain {
+			p, c := plain[i], other[i]
+			if p.Admitted != c.Admitted {
+				t.Fatalf("decision %d: admitted %v, want %v", i, c.Admitted, p.Admitted)
+			}
+			if math.Abs(p.Available-c.Available) > 1e-7 {
+				t.Fatalf("decision %d: available %.12g, want %.12g", i, c.Available, p.Available)
+			}
+		}
+	}
+}

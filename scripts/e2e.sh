@@ -58,36 +58,52 @@ echo "$out" | grep -q '"installed":true' || fail "network install answered: $out
 code=$(curl -sS -o /dev/null -w '%{http_code}' "$base/readyz")
 [ "$code" = "200" ] || fail "readyz after install answered $code, want 200"
 
-# Availability query end to end (routing + enumeration + LP).
-out=$(curl -sS -f -X POST -d '{"src":0,"dst":4}' "$base/v1/query")
+# Availability query end to end (routing + enumeration + LP). This
+# caches the three-link set family for the 0->3 path.
+out=$(curl -sS -f -X POST -d '{"src":0,"dst":3}' "$base/v1/query")
 echo "$out" | grep -q '"feasible":true' || fail "query answered: $out"
+
+# Install a flow on that path (its availability check is an exact cache
+# hit) and read it back.
+out=$(curl -sS -f -X POST -d '{"src":0,"dst":3,"demandMbps":1}' "$base/v1/flows")
+echo "$out" | grep -q '"admitted":true' || fail "admission answered: $out"
+out=$(curl -sS -f "$base/v1/flows")
+echo "$out" | grep -q '"id":1' || fail "flow listing answered: $out"
+
+# Query one hop further: the enumeration universe (background flow plus
+# the 0->4 path) grows the cached family by exactly one link, so this
+# query must be served by the delta path (asserted on /v1/stats below).
+out=$(curl -sS -f -X POST -d '{"src":0,"dst":4}' "$base/v1/query")
+echo "$out" | grep -q '"feasible":true' || fail "grown query answered: $out"
 
 # A traced query carries the per-stage block; the answer is unchanged.
 out=$(curl -sS -f -X POST -d '{"src":0,"dst":4,"trace":true}' "$base/v1/query")
 echo "$out" | grep -q '"feasible":true' || fail "traced query answered: $out"
 echo "$out" | grep -q '"trace"' || fail "traced query carries no trace block: $out"
 
-# Admit a flow and read it back.
-out=$(curl -sS -f -X POST -d '{"src":0,"dst":4,"demandMbps":1}' "$base/v1/flows")
-echo "$out" | grep -q '"admitted":true' || fail "admission answered: $out"
-out=$(curl -sS -f "$base/v1/flows")
-echo "$out" | grep -q '"id":1' || fail "flow listing answered: $out"
-
-# Stats surface: cache on, cancellation counter present and untouched.
+# Stats surface: cache on, the install->query->install->query sequence
+# above took the delta path, cancellation counter present and untouched.
 out=$(curl -sS -f "$base/v1/stats")
 echo "$out" | grep -q '"cacheEnabled":true' || fail "stats answered: $out"
+delta_hits=$(echo "$out" | sed -n 's/.*"deltaHits":\([0-9]*\).*/\1/p' | head -1)
+[ -n "$delta_hits" ] && [ "$delta_hits" -gt 0 ] \
+    || fail "stats deltaHits='$delta_hits', want > 0: $out"
+echo "$out" | grep -q '"deltaFallbacks":0' || fail "delta chain fell back: $out"
 echo "$out" | grep -q '"cancellations":0' || fail "stats missing cancellations: $out"
 echo "$out" | grep -q '"metrics"' || fail "stats missing the metrics snapshot: $out"
 stats_lookups=$(echo "$out" | sed -n 's/.*"lookups":\([0-9]*\).*/\1/p' | head -1)
 
 # Prometheus exposition: the query-latency histogram must count exactly
-# the query requests served (one plain, one traced), and the cache
-# gauges must reconcile with the /v1/stats counters.
+# the query requests served (two plain, one traced), the delta outcome
+# must be on the cache gauges, and the gauges must reconcile with the
+# /v1/stats counters.
 metrics=$(curl -sS -f "$base/metrics")
 qcount=$(echo "$metrics" | sed -n 's/^abw_http_request_seconds_count{handler="query"} //p')
-[ "$qcount" = "2" ] || fail "query histogram count is '$qcount', want 2"
-echo "$metrics" | grep -q '^abw_http_requests_total{code="200",handler="query"} 2$' \
+[ "$qcount" = "3" ] || fail "query histogram count is '$qcount', want 3"
+echo "$metrics" | grep -q '^abw_http_requests_total{code="200",handler="query"} 3$' \
     || fail "query request counter off: $(echo "$metrics" | grep abw_http_requests_total)"
+echo "$metrics" | grep -q '^abw_cache_delta_hits [1-9]' \
+    || fail "delta hits not on /metrics: $(echo "$metrics" | grep abw_cache_delta)"
 echo "$metrics" | grep -q '^abw_stage_seconds_count{stage="enumerate"} [1-9]' \
     || fail "no enumerate stage samples: $(echo "$metrics" | grep abw_stage_seconds_count)"
 m_lookups=$(echo "$metrics" | sed -n 's/^abw_cache_lookups //p')
